@@ -1,0 +1,76 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see DESIGN.md's
+experiment index) by running the corresponding experiment runner and printing
+the regenerated rows.  pytest-benchmark records the wall-clock cost of the
+full regeneration (one iteration — these are experiment pipelines, not
+micro-benchmarks).
+
+The scale can be tuned with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``bench`` (default) — a middle ground sized so the whole suite finishes in
+  minutes on a laptop CPU while still showing the paper's qualitative shapes.
+* ``smoke``           — the test-suite scale (fastest, weakest signal).
+* ``default`` / ``paper`` — the larger presets from :mod:`repro.eval.scale`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.scale import SCALES, ExperimentScale, get_scale
+
+# A preset between "smoke" and "default": full 9-device coverage with a small
+# CNN-free model so every table/figure regenerates in tens of seconds.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    samples_per_class_train=8,
+    samples_per_class_test=6,
+    num_classes=6,
+    image_size=16,
+    scene_size=32,
+    num_clients=24,
+    clients_per_round=8,
+    num_rounds=24,
+    local_epochs=1,
+    batch_size=6,
+    learning_rate=0.025,
+    central_epochs=12,
+    model_name="simple_mlp",
+    width_mult=1.0,
+)
+
+
+def resolve_bench_scale() -> ExperimentScale:
+    """Pick the benchmark scale from the environment (default: ``bench``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if name == "bench":
+        return BENCH_SCALE
+    return get_scale(name)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return resolve_bench_scale()
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The regenerated table is also written to ``benchmarks/results/<id>.md`` so
+    the rows survive pytest's stdout capture and can be cross-referenced from
+    EXPERIMENTS.md.
+    """
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    experiment_id = getattr(result, "experiment_id", None)
+    if experiment_id is not None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.md")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_markdown() + "\n")
+    return result

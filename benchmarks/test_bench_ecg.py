@@ -1,0 +1,26 @@
+"""Benchmark E12 — Section 6.6: ECG heart-rate deviation across sensor types.
+
+Paper shape: FedAvg's heart-rate predictions deviate strongly across sensor
+types (31.8% average); HeteroSwitch with a random Gaussian filter reduces the
+deviation (to 18.3%).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import ecg_heart_rate
+
+
+def test_bench_ecg_heart_rate(benchmark, bench_scale):
+    scale = bench_scale.with_overrides(num_rounds=max(8, bench_scale.num_rounds))
+    result = run_once(benchmark, ecg_heart_rate, scale=scale,
+                      methods=("fedavg", "heteroswitch"), window_size=64, seed=0)
+    print()
+    print(result.to_markdown())
+
+    fedavg_dev = result.scalar("fedavg_mean_deviation")
+    hetero_dev = result.scalar("heteroswitch_mean_deviation")
+    assert fedavg_dev >= 0.0 and hetero_dev >= 0.0
+
+    # Shape check: HeteroSwitch's deviation is not meaningfully worse than
+    # FedAvg's (the paper reports a substantial reduction).
+    assert hetero_dev <= fedavg_dev + 0.10

@@ -1,0 +1,22 @@
+"""Benchmark E1 — Fig. 1: homogeneous vs heterogeneous FL clients.
+
+Paper shape: FL over heterogeneous device types loses accuracy relative to an
+all-same-device population (23.5% average degradation in the paper).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig1_homo_vs_hetero
+
+
+def test_bench_fig1_homo_vs_hetero(benchmark, bench_scale):
+    result = run_once(benchmark, fig1_homo_vs_hetero, scale=bench_scale, seed=0)
+    print()
+    print(result.to_markdown())
+
+    homo = result.scalar("homogeneous_accuracy")
+    hetero = result.scalar("heterogeneous_accuracy")
+    assert 0.0 <= hetero <= 1.0 and 0.0 <= homo <= 1.0
+    # Shape check: the homogeneous setting should not be (meaningfully) worse
+    # than the heterogeneous mixture evaluated across all device types.
+    assert homo >= hetero - 0.10

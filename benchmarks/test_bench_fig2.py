@@ -1,0 +1,23 @@
+"""Benchmark E3 — Fig. 2: cross-device degradation with RAW (no-ISP) data.
+
+Paper shape: RAW-only training degrades more across devices than ISP-processed
+training (the ISP partially normalizes hardware differences).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig2_raw_degradation, table2_cross_device
+
+
+def test_bench_fig2_raw_degradation(benchmark, bench_scale):
+    result = run_once(benchmark, fig2_raw_degradation, scale=bench_scale, seed=0)
+    print()
+    print(result.to_markdown())
+
+    raw_mean = result.scalar("mean_degradation")
+    assert raw_mean >= -0.05
+
+    # Shape check vs the processed-image matrix: RAW heterogeneity should not be
+    # milder than processed-image heterogeneity by a wide margin.
+    processed = table2_cross_device(scale=bench_scale, seed=0)
+    assert raw_mean >= processed.scalar("mean_degradation") - 0.15

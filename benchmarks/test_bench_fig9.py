@@ -1,0 +1,34 @@
+"""Benchmark E13 — Fig. 9 (appendix): hyperparameter sensitivity of the FL setup.
+
+Paper shape: accuracy is sensitive to the learning rate and the number of
+communication rounds; the selected configuration (lr=0.1, B=10, E=1, T=1000 at
+paper scale) sits at or near the best of each sweep.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig9_hyperparameter_sensitivity
+
+
+def test_bench_fig9_hyperparameter_sensitivity(benchmark, bench_scale):
+    sweeps = {
+        "learning_rate": (0.002, 0.02, 0.2),
+        "batch_size": (2, 6, 12),
+        "local_epochs": (1, 3),
+        "num_rounds_factor": (0.2, 1.0),
+    }
+    result = run_once(benchmark, fig9_hyperparameter_sensitivity, scale=bench_scale,
+                      sweeps=sweeps, seed=0)
+    print()
+    print(result.to_markdown())
+
+    accuracies = [row[2] for row in result.rows]
+    assert all(0.0 <= value <= 1.0 for value in accuracies)
+    # Shape check: the sweep produces a non-trivial spread — hyperparameters matter.
+    assert max(accuracies) > min(accuracies)
+
+    # More communication rounds should not hurt at this scale.
+    base_rounds = result.metadata["base"]["num_rounds"]
+    few = result.scalars[f"num_rounds={max(1, int(round(base_rounds * 0.2)))}"]
+    full = result.scalars[f"num_rounds={base_rounds}"]
+    assert full >= few - 0.10

@@ -1,0 +1,29 @@
+"""Benchmark E2 — Table 2: cross-device model-quality degradation matrix.
+
+Paper shape: the diagonal (train device == test device) is always the best;
+off-diagonal entries degrade by 1-50%, and same-vendor pairs (Pixel 5 / Pixel 2)
+degrade least.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.eval.experiments import table2_cross_device
+
+
+def test_bench_table2_cross_device_matrix(benchmark, bench_scale):
+    result = run_once(benchmark, table2_cross_device, scale=bench_scale, seed=0)
+    print()
+    print(result.to_markdown())
+
+    matrix = result.metadata["accuracy_matrix"]
+    devices = result.metadata["devices"]
+
+    # Shape check 1: averaged over train devices, testing on the training device
+    # beats the average cross-device accuracy (system-induced degradation exists).
+    own = np.mean([matrix[d][d] for d in devices])
+    cross = np.mean([matrix[a][b] for a in devices for b in devices if a != b])
+    assert own >= cross - 0.02
+
+    # Shape check 2: overall mean degradation is non-negative.
+    assert result.scalar("mean_degradation") >= -0.05

@@ -1,0 +1,35 @@
+"""Benchmark E8 — Table 4: main evaluation of HeteroSwitch vs baselines.
+
+Paper shape (MobileNetV3-small, market-share clients):
+
+* HeteroSwitch achieves the best worst-case accuracy (DG) and the lowest
+  per-device variance (fairness) of all methods;
+* the always-on ISP transformation already improves variance over FedAvg;
+* q-FedAvg / FedProx / SCAFFOLD do not close the gap because they ignore the
+  system-induced component of the heterogeneity.
+"""
+
+from conftest import run_once
+
+from repro.eval.evaluation import TABLE4_METHODS
+from repro.eval.experiments import table4_main_evaluation
+
+
+def test_bench_table4_main_evaluation(benchmark, bench_scale):
+    result = run_once(benchmark, table4_main_evaluation, scale=bench_scale,
+                      methods=TABLE4_METHODS, seed=0)
+    print()
+    print(result.to_markdown())
+
+    # Sanity: every method produced metrics in range.
+    for method in TABLE4_METHODS:
+        assert 0.0 <= result.scalar(f"{method}_worst_case") <= 1.0
+        assert result.scalar(f"{method}_variance") >= 0.0
+
+    # Shape check: HeteroSwitch's worst-case accuracy (the DG metric) is not
+    # meaningfully below FedAvg's — the direction Table 4 reports.  The variance
+    # (fairness) comparison needs paper-scale accuracy levels to stabilise (at
+    # bench scale the per-device test sets are tiny, so a one-sample swing moves
+    # the variance by several points); here we only require it to stay bounded.
+    assert result.scalar("heteroswitch_worst_case") >= result.scalar("fedavg_worst_case") - 0.10
+    assert result.scalar("heteroswitch_variance") < 100.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Characterization scenario: measure system-induced data heterogeneity.
+
+Reproduces the Section 3 workflow of the paper end-to-end at example scale:
+
+* Table 2 — train a model on each device type's images and test it on every
+  other device type; print the model-quality degradation matrix.
+* Fig. 3  — train on baseline-ISP images and test against single-stage ISP
+  substitutions (Table 3's Option 1/Option 2 columns) to find which ISP stages
+  contribute most to the heterogeneity.
+
+Run it with:  python examples/characterize_device_heterogeneity.py
+"""
+
+from __future__ import annotations
+
+from repro.eval import fig3_isp_stage_ablation, table2_cross_device
+from repro.eval.scale import get_scale
+
+
+def main() -> None:
+    scale = get_scale("smoke").with_overrides(
+        samples_per_class_train=6,
+        samples_per_class_test=4,
+        num_classes=5,
+        central_epochs=8,
+    )
+    devices = ["Pixel5", "Pixel2", "S22", "S6"]
+
+    print("== Table 2: cross-device model quality degradation ==")
+    print("(rows: device the model was trained on; columns: device it is tested on)")
+    table2 = table2_cross_device(scale=scale, devices=devices, seed=0)
+    print(table2.to_markdown())
+    print()
+    print(f"Mean cross-device degradation: {table2.scalar('mean_degradation'):.1%} "
+          f"(paper: 19.4% on average, up to 50.7%)")
+    print()
+
+    print("== Fig. 3: which ISP stages cause the heterogeneity? ==")
+    fig3 = fig3_isp_stage_ablation(scale=scale, devices=devices[:3], seed=0)
+    print(fig3.to_markdown())
+    print()
+    print("The paper finds the colour (white balance) and tone transformation stages the"
+          " most damaging (56.0% and 49.2% degradation when omitted); HeteroSwitch's"
+          " client transform targets exactly those two stages (Eq. 2 and Eq. 3).")
+
+
+if __name__ == "__main__":
+    main()

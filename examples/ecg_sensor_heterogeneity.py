@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Non-vision scenario: heart-rate estimation across heterogeneous ECG sensors.
+
+Section 6.6 of the paper shows that system-induced data heterogeneity is not a
+vision-only problem: the same person's ECG recorded by different sensor types
+(clinical monitor, chest strap, wrist wearable, handheld device) yields
+divergent heart-rate predictions under FedAvg, and HeteroSwitch — with a random
+Gaussian filter as its generalization transform — reduces the divergence.
+
+Run it with:  python examples/ecg_sensor_heterogeneity.py
+"""
+
+from __future__ import annotations
+
+from repro.eval import ecg_heart_rate, format_table
+from repro.eval.scale import get_scale
+
+
+def main() -> None:
+    scale = get_scale("smoke").with_overrides(
+        num_clients=16,
+        clients_per_round=8,
+        num_rounds=10,
+        samples_per_class_train=6,
+        samples_per_class_test=4,
+        learning_rate=0.02,
+    )
+
+    print("Training heart-rate regressors federatedly across 4 ECG sensor types ...")
+    result = ecg_heart_rate(scale=scale, methods=("fedavg", "heteroswitch"),
+                            window_size=64, seed=0)
+
+    print()
+    print(format_table(result.headers, result.rows))
+    print()
+    fedavg = result.scalar("fedavg_mean_deviation")
+    hetero = result.scalar("heteroswitch_mean_deviation")
+    print(f"Mean heart-rate deviation — FedAvg: {fedavg:.1%}, HeteroSwitch: {hetero:.1%}")
+    print("(Paper: 31.8% for FedAvg vs 18.3% for HeteroSwitch with its random Gaussian filter.)")
+
+
+if __name__ == "__main__":
+    main()

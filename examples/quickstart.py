@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: train a federated model over heterogeneous devices with HeteroSwitch.
+
+This example walks through the library's core loop in a few dozen lines:
+
+1. capture a synthetic per-device dataset (the same scenes photographed by
+   different simulated smartphones, Table 1 of the paper),
+2. build an FL client population following the devices' market shares,
+3. run FedAvg and HeteroSwitch on the same population,
+4. compare the fairness / domain-generalization metrics of Table 4.
+
+Run it with:  python examples/quickstart.py
+It finishes in well under a minute on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+from repro.data import build_client_specs, build_device_datasets
+from repro.devices import market_shares
+from repro.eval import format_table
+from repro.fl import FLConfig, FederatedSimulation, create_strategy
+from repro.nn.models import SimpleMLP
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Per-device datasets: the same scene pool captured by each device.
+    # ------------------------------------------------------------------ #
+    devices = ["Pixel5", "Pixel2", "S22", "S9", "S6", "G7"]
+    print(f"Capturing synthetic scenes with {len(devices)} device profiles ...")
+    bundle = build_device_datasets(
+        samples_per_class_train=6,
+        samples_per_class_test=4,
+        num_classes=6,
+        image_size=16,
+        scene_size=32,
+        devices=devices,
+        seed=0,
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. FL client population weighted by market share (Table 1).
+    # ------------------------------------------------------------------ #
+    shares = {name: share for name, share in market_shares().items() if name in devices}
+    clients = build_client_specs(bundle.train, num_clients=24, shares=shares, seed=0)
+    print(f"Built {len(clients)} clients "
+          f"({sum(1 for c in clients if c.device in ('S9', 'S6'))} on dominant devices).")
+
+    config = FLConfig(
+        num_clients=24,
+        clients_per_round=8,
+        num_rounds=12,
+        local_epochs=1,
+        batch_size=6,
+        learning_rate=0.02,
+        seed=0,
+    )
+
+    def model_fn() -> SimpleMLP:
+        return SimpleMLP(3 * bundle.image_size * bundle.image_size, bundle.num_classes,
+                         hidden=32, seed=0)
+
+    # ------------------------------------------------------------------ #
+    # 3. Run FedAvg (baseline) and HeteroSwitch (the paper's method).
+    # ------------------------------------------------------------------ #
+    rows = []
+    for method in ("fedavg", "heteroswitch"):
+        print(f"Running {method} for {config.num_rounds} rounds ...")
+        simulation = FederatedSimulation(model_fn, clients, bundle.test,
+                                         create_strategy(method), config)
+        history = simulation.run()
+        summary = history.summary
+        rows.append([method, summary["worst_case"], summary["variance"], summary["average"]])
+        switched = sum(record.num_switch1 for record in history.rounds)
+        if method == "heteroswitch":
+            print(f"  HeteroSwitch applied its ISP transformation to {switched} client updates.")
+
+    # ------------------------------------------------------------------ #
+    # 4. Report the Table 4 style metrics.
+    # ------------------------------------------------------------------ #
+    print()
+    print(format_table(
+        ["method", "worst-case accuracy (DG)", "variance (fairness)", "average accuracy"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 660 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` allows the legacy editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

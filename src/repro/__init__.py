@@ -1,0 +1,18 @@
+"""HeteroSwitch reproduction library.
+
+A from-scratch, NumPy-only reproduction of "HeteroSwitch: Characterizing and
+Taming System-Induced Data Heterogeneity in Federated Learning" (MLSys 2024):
+
+* :mod:`repro.nn`      — autograd / neural-network substrate and model zoo.
+* :mod:`repro.isp`     — six-stage software ISP pipeline and ISP transforms.
+* :mod:`repro.devices` — simulated smartphone sensors + ISP configurations.
+* :mod:`repro.data`    — synthetic datasets and FL client partitioning.
+* :mod:`repro.fl`      — federated-learning framework and baseline strategies.
+* :mod:`repro.core`    — the HeteroSwitch method (bias measurement, switching,
+  random ISP transforms, SWAD).
+* :mod:`repro.eval`    — experiment runners that regenerate every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

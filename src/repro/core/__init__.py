@@ -1,0 +1,35 @@
+"""HeteroSwitch core: bias measurement, switching logic, SWAD, client transforms.
+
+This package holds the paper's primary contribution (Section 5): the EMA loss
+tracker of Eq. 1, the two-switch decision logic of Algorithm 1, per-batch SWAD
+weight averaging, the random ISP transforms in model layout, and the
+:class:`HeteroSwitch` FL strategy plus its always-on ablations.
+"""
+
+from .ema import EMALossTracker
+from .heteroswitch import HeteroSwitch, ISPTransformOnly, ISPTransformWithSWAD
+from .swad import SWAAverager, SWADAverager, WeightAverager
+from .switch import SwitchDecision, decide_switch1, decide_switch2
+from .transforms import (
+    NCHWTransform,
+    SignalTransform,
+    default_isp_transform,
+    ecg_transform,
+)
+
+__all__ = [
+    "EMALossTracker",
+    "WeightAverager",
+    "SWADAverager",
+    "SWAAverager",
+    "SwitchDecision",
+    "decide_switch1",
+    "decide_switch2",
+    "NCHWTransform",
+    "SignalTransform",
+    "default_isp_transform",
+    "ecg_transform",
+    "HeteroSwitch",
+    "ISPTransformOnly",
+    "ISPTransformWithSWAD",
+]

@@ -1,0 +1,75 @@
+"""Exponential-moving-average loss tracking (Eq. 1 of the paper).
+
+The server keeps an EMA of the aggregated client training loss across rounds:
+
+    L_EMA(t+1) = alpha * L_cur + (1 - alpha) * L_EMA(t)
+
+HeteroSwitch compares each client's initial loss ``L_init`` against ``L_EMA``
+to decide whether the client's data is already well represented by the global
+model (a sign of bias toward that device type's characteristics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["EMALossTracker"]
+
+
+class EMALossTracker:
+    """Tracks the EMA of aggregated training losses across FL rounds."""
+
+    def __init__(self, alpha: float = 0.9) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+        self._history: List[float] = []
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current EMA value, or ``None`` before the first update."""
+        return self._value
+
+    @property
+    def history(self) -> List[float]:
+        """EMA value after each update (for diagnostics and plotting)."""
+        return list(self._history)
+
+    def update(self, current_loss: float) -> float:
+        """Fold one round's aggregated loss into the EMA (Eq. 1)."""
+        current_loss = float(current_loss)
+        if not np.isfinite(current_loss):
+            raise ValueError(f"current_loss must be finite, got {current_loss}")
+        if self._value is None:
+            # First observation seeds the average.
+            self._value = current_loss
+        else:
+            self._value = self.alpha * current_loss + (1.0 - self.alpha) * self._value
+        self._history.append(self._value)
+        return self._value
+
+    def update_from_clients(self, client_losses: Iterable[float],
+                            weights: Optional[Iterable[float]] = None) -> float:
+        """Aggregate this round's client losses (optionally sample-weighted) and update."""
+        losses = np.asarray(list(client_losses), dtype=np.float64)
+        if losses.size == 0:
+            raise ValueError("client_losses must not be empty")
+        if weights is None:
+            aggregated = float(losses.mean())
+        else:
+            weight_arr = np.asarray(list(weights), dtype=np.float64)
+            if weight_arr.shape != losses.shape:
+                raise ValueError("weights must align with client_losses")
+            total = weight_arr.sum()
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            aggregated = float((losses * weight_arr).sum() / total)
+        return self.update(aggregated)
+
+    def reset(self) -> None:
+        """Forget all state (used between independent FL runs)."""
+        self._value = None
+        self._history.clear()

@@ -1,0 +1,51 @@
+"""The switching logic of HeteroSwitch (Algorithm 1, lines 1-5 and 22-24).
+
+Two binary switches control how much generalization is applied to a client in
+a given round:
+
+* **Switch 1** (dataset diversification): enabled when the client's initial
+  loss on its own data is *below* the EMA of the aggregated loss — the global
+  model already fits this client's device characteristics well, i.e. the data
+  is likely from a dominant/over-represented device type and can tolerate (and
+  benefits from) random ISP transformation.
+* **Switch 2** (model generalization): enabled when Switch 1 fired *and* the
+  client's training loss also stayed below the EMA — the client learned easily
+  even under transformation, so the more strongly generalized SWAD-averaged
+  weights are returned instead of the last SGD iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SwitchDecision", "decide_switch1", "decide_switch2"]
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """Record of the two switch outcomes for one client round (for analysis)."""
+
+    switch1: bool
+    switch2: bool
+    init_loss: float
+    train_loss: Optional[float]
+    ema_loss: Optional[float]
+
+
+def decide_switch1(init_loss: float, ema_loss: Optional[float]) -> bool:
+    """Switch 1: apply random ISP transformation if ``L_init < L_EMA``.
+
+    Before the first round there is no EMA yet; HeteroSwitch then behaves like
+    plain FedAvg (no transformation), so this returns ``False``.
+    """
+    if ema_loss is None:
+        return False
+    return init_loss < ema_loss
+
+
+def decide_switch2(switch1: bool, train_loss: float, ema_loss: Optional[float]) -> bool:
+    """Switch 2: return SWAD weights if Switch 1 fired and ``L_train < L_EMA``."""
+    if not switch1 or ema_loss is None:
+        return False
+    return train_loss < ema_loss

@@ -1,0 +1,89 @@
+"""Client-side generalization transforms in model (NCHW) layout.
+
+:mod:`repro.isp.transforms` operates on channel-last image arrays; the FL
+training loop hands batches to strategies in the NCHW layout models consume.
+This module bridges the two and bundles the paper's default client transform —
+random white balance (Eq. 2) + random gamma (Eq. 3) — plus the 1-D variant
+used for the ECG experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..isp.transforms import (
+    Compose,
+    GaussianNoise,
+    RandomAffine,
+    RandomGamma,
+    RandomGaussianFilter1D,
+    RandomWhiteBalance,
+    Transform,
+)
+
+__all__ = [
+    "BatchTransform",
+    "NCHWTransform",
+    "SignalTransform",
+    "default_isp_transform",
+    "ecg_transform",
+]
+
+# A batch transform maps (features, rng) -> transformed features in model layout.
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class NCHWTransform:
+    """Wrap a channel-last :class:`Transform` so it applies to NCHW image batches."""
+
+    def __init__(self, transform: Transform) -> None:
+        self.transform = transform
+
+    def __call__(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 4:
+            raise ValueError(f"expected NCHW batch, got shape {features.shape}")
+        hwc = features.transpose(0, 2, 3, 1)
+        transformed = self.transform(hwc, rng)
+        return np.ascontiguousarray(transformed.transpose(0, 3, 1, 2))
+
+
+class SignalTransform:
+    """Apply a :class:`Transform` directly to (N, D) signal batches (ECG)."""
+
+    def __init__(self, transform: Transform) -> None:
+        self.transform = transform
+
+    def __call__(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected (N, D) batch, got shape {features.shape}")
+        return self.transform(features, rng)
+
+
+def default_isp_transform(
+    wb_degree: float = 0.5,
+    gamma_degree: float = 0.5,
+    per_sample: bool = True,
+    extra: Optional[Sequence[Transform]] = None,
+) -> NCHWTransform:
+    """The paper's dataset-diversification transform: random WB + random gamma.
+
+    The appendix's tuned degrees (WB 0.001, gamma 0.9) apply to its real-device
+    dataset; the defaults here are midpoints that behave well on the synthetic
+    captures, and every experiment runner can override them.
+    """
+    transforms: list[Transform] = [
+        RandomWhiteBalance(degree=wb_degree, per_sample=per_sample),
+        RandomGamma(degree=gamma_degree, per_sample=per_sample),
+    ]
+    if extra:
+        transforms.extend(extra)
+    return NCHWTransform(Compose(transforms))
+
+
+def ecg_transform(min_sigma: float = 0.5, max_sigma: float = 2.5) -> SignalTransform:
+    """HeteroSwitch's ECG generalization transform: a random Gaussian filter."""
+    return SignalTransform(RandomGaussianFilter1D(min_sigma=min_sigma, max_sigma=max_sigma))

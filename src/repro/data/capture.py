@@ -1,0 +1,159 @@
+"""Device capture simulation: scene -> sensor RAW -> ISP -> training tensor.
+
+This is the data-generation process of Fig. 1: a monitor displays a scene, a
+device's sensor records RAW data, the device's ISP produces the final image,
+and the image is resized into the tensor the model trains on.  Capturing the
+*same* scenes with *different* device profiles yields the per-device datasets
+used throughout Sections 3, 4 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..devices.profiles import DEVICE_PROFILES, DeviceProfile
+from ..isp.pipeline import ISPConfig, ISPPipeline
+from ..isp.raw import raw_to_training_array
+from .dataset import ArrayDataset, hwc_to_nchw
+from .scenes import generate_scene_dataset
+
+__all__ = ["CaptureConfig", "capture_with_device", "build_device_datasets", "DeviceDatasetBundle"]
+
+
+def _resize_bilinear(image: np.ndarray, size: int) -> np.ndarray:
+    """Resize an HxWxC image to ``size`` x ``size`` (separable linear interpolation)."""
+    h, w = image.shape[:2]
+    if (h, w) == (size, size):
+        return image
+    row_pos = np.linspace(0, h - 1, size)
+    col_pos = np.linspace(0, w - 1, size)
+    row_lo = np.floor(row_pos).astype(int)
+    col_lo = np.floor(col_pos).astype(int)
+    row_hi = np.minimum(row_lo + 1, h - 1)
+    col_hi = np.minimum(col_lo + 1, w - 1)
+    row_frac = (row_pos - row_lo)[:, None, None]
+    col_frac = (col_pos - col_lo)[None, :, None]
+    top = image[row_lo][:, col_lo] * (1 - col_frac) + image[row_lo][:, col_hi] * col_frac
+    bottom = image[row_hi][:, col_lo] * (1 - col_frac) + image[row_hi][:, col_hi] * col_frac
+    return top * (1 - row_frac) + bottom * row_frac
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Configuration of a capture session.
+
+    Attributes
+    ----------
+    image_size:
+        Side length of the training tensors produced (model input resolution).
+    raw:
+        If ``True``, skip the ISP and return RAW-derived tensors (Section 3.3).
+    isp_override:
+        Optional ISP configuration that replaces the device's own ISP, used by
+        the Fig. 3 stage-ablation experiment (all devices share one pipeline
+        whose stages are then perturbed).
+    seed:
+        Seed for the sensor noise realisations.
+    """
+
+    image_size: int = 32
+    raw: bool = False
+    isp_override: Optional[ISPConfig] = None
+    seed: int = 0
+
+
+def capture_with_device(
+    scenes: np.ndarray,
+    labels: np.ndarray,
+    device: DeviceProfile,
+    config: CaptureConfig = CaptureConfig(),
+) -> ArrayDataset:
+    """Capture a batch of scenes with one device, returning an NCHW dataset."""
+    scenes = np.asarray(scenes, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scenes.ndim != 4 or scenes.shape[-1] != 3:
+        raise ValueError(f"scenes must be (N, H, W, 3), got {scenes.shape}")
+    if len(scenes) != len(labels):
+        raise ValueError("scenes and labels must be the same length")
+
+    rng = np.random.default_rng(config.seed)
+    pipeline = None
+    if not config.raw:
+        isp_config = config.isp_override or device.isp
+        pipeline = ISPPipeline(isp_config)
+
+    images = np.empty((len(scenes), config.image_size, config.image_size, 3), dtype=np.float64)
+    for index, scene in enumerate(scenes):
+        raw = device.sensor.capture_raw(scene, rng)
+        if config.raw:
+            processed = raw_to_training_array(raw)
+        else:
+            processed = pipeline.process(raw)
+        images[index] = _resize_bilinear(processed, config.image_size)
+
+    metadata = {
+        "device": device.name,
+        "vendor": device.vendor,
+        "tier": device.tier,
+        "raw": config.raw,
+        "isp": (config.isp_override or device.isp).name if not config.raw else "raw",
+    }
+    return ArrayDataset(hwc_to_nchw(images), labels, metadata=metadata)
+
+
+@dataclass
+class DeviceDatasetBundle:
+    """Per-device train/test datasets captured from shared scene pools."""
+
+    train: Dict[str, ArrayDataset]
+    test: Dict[str, ArrayDataset]
+    num_classes: int
+    image_size: int
+
+    def devices(self) -> list[str]:
+        return list(self.train.keys())
+
+
+def build_device_datasets(
+    samples_per_class_train: int = 8,
+    samples_per_class_test: int = 4,
+    num_classes: int = 12,
+    image_size: int = 32,
+    scene_size: int = 64,
+    devices: Optional[Sequence[str]] = None,
+    raw: bool = False,
+    isp_override: Optional[ISPConfig] = None,
+    seed: int = 0,
+) -> DeviceDatasetBundle:
+    """Build the per-device dataset family used by the characterization study.
+
+    The same train-scene pool and the same test-scene pool are captured by every
+    device (the paper controls the displayed content and varies only the
+    device), so differences between the per-device datasets are purely
+    system-induced.
+    """
+    device_names = list(devices) if devices is not None else list(DEVICE_PROFILES)
+    unknown = [d for d in device_names if d not in DEVICE_PROFILES]
+    if unknown:
+        raise KeyError(f"unknown devices: {unknown}")
+
+    train_scenes, train_labels = generate_scene_dataset(
+        samples_per_class_train, num_classes=num_classes, image_size=scene_size, seed=seed
+    )
+    test_scenes, test_labels = generate_scene_dataset(
+        samples_per_class_test, num_classes=num_classes, image_size=scene_size, seed=seed + 10_000
+    )
+
+    train: Dict[str, ArrayDataset] = {}
+    test: Dict[str, ArrayDataset] = {}
+    for offset, name in enumerate(device_names):
+        profile = DEVICE_PROFILES[name]
+        capture_cfg = CaptureConfig(
+            image_size=image_size, raw=raw, isp_override=isp_override, seed=seed + offset
+        )
+        train[name] = capture_with_device(train_scenes, train_labels, profile, capture_cfg)
+        test[name] = capture_with_device(test_scenes, test_labels, profile, capture_cfg)
+    return DeviceDatasetBundle(train=train, test=test, num_classes=num_classes, image_size=image_size)

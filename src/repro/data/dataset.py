@@ -1,0 +1,142 @@
+"""Dataset containers and batching utilities for the FL framework.
+
+A :class:`ArrayDataset` holds features and labels as NumPy arrays (images are
+stored NCHW, signals as (N, D)); :class:`DataLoader` yields shuffled
+mini-batches.  These are deliberately tiny abstractions — the FL layer only
+needs deterministic, seedable batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "hwc_to_nchw", "nchw_to_hwc", "train_test_split"]
+
+
+def hwc_to_nchw(images: np.ndarray) -> np.ndarray:
+    """Convert ``(N, H, W, C)`` images to the ``(N, C, H, W)`` layout models use."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected a 4-D (N, H, W, C) array, got shape {images.shape}")
+    return np.ascontiguousarray(images.transpose(0, 3, 1, 2))
+
+
+def nchw_to_hwc(images: np.ndarray) -> np.ndarray:
+    """Convert ``(N, C, H, W)`` images back to ``(N, H, W, C)``."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected a 4-D (N, C, H, W) array, got shape {images.shape}")
+    return np.ascontiguousarray(images.transpose(0, 2, 3, 1))
+
+
+@dataclass
+class ArrayDataset:
+    """A dataset of aligned feature / label arrays.
+
+    ``features`` can be image batches (NCHW) or flat feature vectors; ``labels``
+    can be integer class labels, multi-hot label matrices or regression targets.
+    ``metadata`` carries optional per-dataset context such as the device name.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    metadata: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels)
+        if len(self.features) != len(self.labels):
+            raise ValueError(
+                f"features ({len(self.features)}) and labels ({len(self.labels)}) lengths differ"
+            )
+        if len(self.features) == 0:
+            raise ValueError("dataset must contain at least one sample")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=int)
+        return ArrayDataset(self.features[indices], self.labels[indices], metadata=self.metadata)
+
+    def merge(self, other: "ArrayDataset") -> "ArrayDataset":
+        """Concatenate two datasets (metadata of ``self`` wins)."""
+        return ArrayDataset(
+            np.concatenate([self.features, other.features], axis=0),
+            np.concatenate([self.labels, other.labels], axis=0),
+            metadata=self.metadata,
+        )
+
+
+class DataLoader:
+    """Deterministic, seedable mini-batch iterator over an :class:`ArrayDataset`."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        indices = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            yield self.dataset.features[batch_idx], self.dataset.labels[batch_idx]
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    stratify: bool = True,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train and test partitions.
+
+    With ``stratify=True`` (and integer labels) every class contributes
+    proportionally to the test set, which keeps the small per-device datasets
+    balanced.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    labels = dataset.labels
+    if stratify and labels.ndim == 1 and np.issubdtype(labels.dtype, np.integer):
+        test_indices: list[int] = []
+        for cls in np.unique(labels):
+            cls_idx = np.flatnonzero(labels == cls)
+            cls_idx = rng.permutation(cls_idx)
+            count = max(1, int(round(len(cls_idx) * test_fraction)))
+            test_indices.extend(cls_idx[:count].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[np.asarray(test_indices, dtype=int)] = True
+    else:
+        order = rng.permutation(n)
+        count = max(1, int(round(n * test_fraction)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:count]] = True
+    train = dataset.subset(np.flatnonzero(~test_mask))
+    test = dataset.subset(np.flatnonzero(test_mask))
+    return train, test

@@ -1,0 +1,130 @@
+"""Camera sensor (hardware) simulation.
+
+Section 3.3 of the paper attributes a large share of system-induced data
+heterogeneity to the image sensor itself: focal length, aperture, pixel size
+and resolution all change the RAW response recorded for the same scene.  The
+original work measures this with nine physical phones; this module simulates
+the same mechanism with a parametric :class:`SensorModel` that converts an
+idealized scene into a device-specific Bayer RAW capture.
+
+The per-device knobs (spectral response matrix, exposure, read/shot noise,
+vignetting, resolution) are what generate *hardware* heterogeneity; the ISP
+configuration attached to the device profile generates the *software* part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..isp.raw import RawImage, bayer_mosaic
+
+__all__ = ["SensorModel"]
+
+
+def _resize_bilinear(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
+    """Resize an HxWxC image with separable linear interpolation (no SciPy zoom
+    edge surprises; keeps the function dependency-light and deterministic)."""
+    h, w = image.shape[:2]
+    new_h, new_w = size
+    if (h, w) == (new_h, new_w):
+        return image.astype(np.float64, copy=True)
+    row_pos = np.linspace(0, h - 1, new_h)
+    col_pos = np.linspace(0, w - 1, new_w)
+    row_lo = np.floor(row_pos).astype(int)
+    col_lo = np.floor(col_pos).astype(int)
+    row_hi = np.minimum(row_lo + 1, h - 1)
+    col_hi = np.minimum(col_lo + 1, w - 1)
+    row_frac = (row_pos - row_lo)[:, None, None]
+    col_frac = (col_pos - col_lo)[None, :, None]
+    top = image[row_lo][:, col_lo] * (1 - col_frac) + image[row_lo][:, col_hi] * col_frac
+    bottom = image[row_hi][:, col_lo] * (1 - col_frac) + image[row_hi][:, col_hi] * col_frac
+    return top * (1 - row_frac) + bottom * row_frac
+
+
+@dataclass
+class SensorModel:
+    """Parametric model of a phone camera sensor.
+
+    Parameters
+    ----------
+    resolution:
+        Native capture resolution ``(height, width)`` — must be even for Bayer
+        sampling.  Older/lower-tier devices use lower resolutions.
+    color_response:
+        3x3 matrix mixing scene RGB into sensor RGB before CFA sampling; models
+        the spectral response differences between vendors' sensors.
+    exposure:
+        Global gain applied to the scene radiance (lens aperture + exposure).
+    read_noise:
+        Standard deviation of additive Gaussian read noise (in [0, 1] units).
+    shot_noise_scale:
+        Scale of signal-dependent (Poisson-like) shot noise; larger for small
+        pixels on cheap sensors.
+    vignetting:
+        Strength of radial lens falloff in [0, 1); 0 disables it.
+    bayer_pattern:
+        CFA layout used when sampling the mosaic.
+    black_level:
+        Constant sensor offset added before noise and removed afterwards.
+    """
+
+    resolution: Tuple[int, int] = (64, 64)
+    color_response: np.ndarray = field(default_factory=lambda: np.eye(3))
+    exposure: float = 1.0
+    read_noise: float = 0.01
+    shot_noise_scale: float = 0.01
+    vignetting: float = 0.0
+    bayer_pattern: str = "RGGB"
+    black_level: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.color_response = np.asarray(self.color_response, dtype=np.float64)
+        if self.color_response.shape != (3, 3):
+            raise ValueError("color_response must be a 3x3 matrix")
+        h, w = self.resolution
+        if h % 2 or w % 2:
+            raise ValueError("sensor resolution must be even for Bayer sampling")
+        if self.exposure <= 0:
+            raise ValueError("exposure must be positive")
+        if self.read_noise < 0 or self.shot_noise_scale < 0:
+            raise ValueError("noise parameters must be non-negative")
+        if not 0.0 <= self.vignetting < 1.0:
+            raise ValueError("vignetting must be in [0, 1)")
+
+    # ------------------------------------------------------------------ #
+    def _vignette_mask(self) -> np.ndarray:
+        h, w = self.resolution
+        ys = np.linspace(-1.0, 1.0, h)[:, None]
+        xs = np.linspace(-1.0, 1.0, w)[None, :]
+        radius_sq = ys ** 2 + xs ** 2
+        # cos^4-like radial falloff scaled by the vignetting strength.
+        return 1.0 - self.vignetting * radius_sq / 2.0
+
+    def expose(self, scene: np.ndarray) -> np.ndarray:
+        """Deterministically render the scene onto the sensor plane (no noise).
+
+        Returns the HxWx3 linear sensor irradiance before CFA sampling.
+        """
+        scene = np.clip(np.asarray(scene, dtype=np.float64), 0.0, 1.0)
+        resized = _resize_bilinear(scene, self.resolution)
+        mixed = resized.reshape(-1, 3) @ self.color_response.T
+        mixed = mixed.reshape(resized.shape)
+        exposed = mixed * self.exposure
+        if self.vignetting > 0:
+            exposed = exposed * self._vignette_mask()[..., None]
+        return np.clip(exposed, 0.0, 1.0)
+
+    def capture_raw(self, scene: np.ndarray, rng: np.random.Generator) -> RawImage:
+        """Capture a RAW Bayer mosaic of ``scene`` with sensor noise applied."""
+        irradiance = self.expose(scene)
+        # Shot noise: variance proportional to the signal; read noise: constant.
+        shot_sigma = np.sqrt(np.maximum(irradiance, 0.0)) * self.shot_noise_scale
+        noisy = irradiance + rng.normal(0.0, 1.0, size=irradiance.shape) * shot_sigma
+        noisy = noisy + rng.normal(0.0, self.read_noise, size=irradiance.shape)
+        noisy = np.clip(noisy + self.black_level, 0.0, 1.0 + self.black_level) - self.black_level
+        noisy = np.clip(noisy, 0.0, 1.0)
+        mosaic = bayer_mosaic(noisy, pattern=self.bayer_pattern)
+        return RawImage(mosaic=mosaic, pattern=self.bayer_pattern, black_level=self.black_level)

@@ -1,0 +1,99 @@
+"""Centralized (non-federated) training helpers for the characterization study.
+
+Sections 3.2-3.4 of the paper train a model on one device type's data and test
+it on every other device type; the training itself is ordinary centralized SGD.
+These helpers provide that loop, plus robustness evaluation under test-time
+transformations for the Fig. 7 SWA/SWAD comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, DataLoader
+from ..isp.transforms import Transform
+from ..nn.layers import Module
+from ..nn.optim import SGD
+from ..nn.serialization import set_weights
+from ..core.swad import WeightAverager
+from ..core.transforms import NCHWTransform
+from ..fl.training import compute_loss, evaluate_metric
+
+__all__ = ["train_centralized", "evaluate_on_devices", "evaluate_under_transform"]
+
+
+def train_centralized(
+    model: Module,
+    dataset: ArrayDataset,
+    epochs: int,
+    batch_size: int = 10,
+    learning_rate: float = 0.1,
+    task: str = "classification",
+    transform: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    weight_averager: Optional[WeightAverager] = None,
+    average_per_epoch: bool = False,
+    seed: int = 0,
+) -> Module:
+    """Train a model with plain SGD on one dataset.
+
+    Parameters
+    ----------
+    transform:
+        Optional per-batch feature transform (NCHW layout), used to train the
+        "with random transformation" variants of Fig. 7.
+    weight_averager:
+        Optional running weight average; updated per batch (SWAD) or per epoch
+        (SWA) depending on ``average_per_epoch``.  When given, the averaged
+        weights are loaded back into the model at the end of training.
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    optimizer = SGD(model.parameters(), lr=learning_rate)
+    rng = np.random.default_rng(seed)
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, seed=seed)
+    model.train()
+    for epoch in range(epochs):
+        for features, labels in loader:
+            if transform is not None:
+                features = transform(features, rng)
+            loss = compute_loss(model, features, labels, task)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if weight_averager is not None and not average_per_epoch:
+                weight_averager.update_from_model(model)
+        if weight_averager is not None and average_per_epoch:
+            weight_averager.update_from_model(model)
+    if weight_averager is not None and weight_averager.count > 0:
+        set_weights(model, weight_averager.average())
+    return model
+
+
+def evaluate_on_devices(
+    model: Module,
+    test_sets: Mapping[str, ArrayDataset],
+    task: str = "classification",
+) -> Dict[str, float]:
+    """Evaluate a trained model on each per-device test set."""
+    return {device: evaluate_metric(model, dataset, task) for device, dataset in test_sets.items()}
+
+
+def evaluate_under_transform(
+    model: Module,
+    dataset: ArrayDataset,
+    transform: Transform,
+    seed: int = 0,
+    task: str = "classification",
+) -> float:
+    """Accuracy of ``model`` on a test set perturbed by a channel-last transform.
+
+    Used by the Fig. 7 robustness sweep: the test images are perturbed with the
+    named transformation (affine / Gaussian noise / WB / gamma at a given
+    degree) and the model's accuracy on the perturbed set is measured.
+    """
+    rng = np.random.default_rng(seed)
+    wrapper = NCHWTransform(transform)
+    perturbed = ArrayDataset(wrapper(dataset.features, rng), dataset.labels, metadata=dataset.metadata)
+    return evaluate_metric(model, perturbed, task)

@@ -1,0 +1,379 @@
+"""Characterization experiments: Sections 3 and 4 of the paper.
+
+* :func:`fig1_homo_vs_hetero`      — Fig. 1: homogeneous vs heterogeneous FL clients.
+* :func:`table2_cross_device`      — Table 2: cross-device model-quality degradation.
+* :func:`fig2_raw_degradation`     — Fig. 2: the same matrix trained on RAW data.
+* :func:`fig3_isp_stage_ablation`  — Fig. 3: per-ISP-stage degradation.
+* :func:`fig4_fairness`            — Fig. 4: degradation vs the dominant devices.
+* :func:`fig5_domain_generalization` — Fig. 5: leave-one-device-out DG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.capture import DeviceDatasetBundle, build_device_datasets
+from ..data.partition import build_client_specs
+from ..devices.profiles import DEVICE_NAMES, DOMINANT_DEVICES, market_shares
+from ..fl.config import FLConfig
+from ..fl.metrics import mean_value, model_quality_degradation
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategies.base import FedAvg
+from ..isp.pipeline import BASELINE_CONFIG, stage_variants
+from .centralized import evaluate_on_devices, train_centralized
+from .factories import make_model_factory
+from .results import ExperimentResult
+from .scale import ExperimentScale, get_scale
+
+__all__ = [
+    "fig1_homo_vs_hetero",
+    "table2_cross_device",
+    "fig2_raw_degradation",
+    "fig3_isp_stage_ablation",
+    "fig4_fairness",
+    "fig5_domain_generalization",
+]
+
+
+def _build_bundle(scale: ExperimentScale, devices: Optional[Sequence[str]] = None,
+                  raw: bool = False, isp_override=None, seed: int = 0) -> DeviceDatasetBundle:
+    return build_device_datasets(
+        samples_per_class_train=scale.samples_per_class_train,
+        samples_per_class_test=scale.samples_per_class_test,
+        num_classes=scale.num_classes,
+        image_size=scale.image_size,
+        scene_size=scale.scene_size,
+        devices=devices,
+        raw=raw,
+        isp_override=isp_override,
+        seed=seed,
+    )
+
+
+def _train_on_device(bundle: DeviceDatasetBundle, device: str, scale: ExperimentScale,
+                     seed: int = 0):
+    """Centralized training on one device's data (the Section 3.2 protocol)."""
+    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
+    model = factory()
+    return train_centralized(
+        model,
+        bundle.train[device],
+        epochs=scale.central_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        seed=seed,
+    )
+
+
+def _fl_config(scale: ExperimentScale, num_clients: int, seed: int = 0) -> FLConfig:
+    return FLConfig(
+        num_clients=num_clients,
+        clients_per_round=min(scale.clients_per_round, num_clients),
+        num_rounds=scale.num_rounds,
+        local_epochs=scale.local_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 1 — homogeneous vs heterogeneous clients
+# --------------------------------------------------------------------------- #
+def fig1_homo_vs_hetero(scale: "str | ExperimentScale" = "smoke",
+                        devices: Optional[Sequence[str]] = None,
+                        seed: int = 0) -> ExperimentResult:
+    """Fig. 1: FL accuracy with homogeneous vs heterogeneous client devices.
+
+    Homogeneous: all clients use the same (dominant) device type; the model is
+    tested on that device.  Heterogeneous: clients are drawn across all device
+    types by market share; the model is tested on every device and the average
+    accuracy is reported.  The paper observes a 23.5% average drop.
+    """
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else DEVICE_NAMES
+    bundle = _build_bundle(scale, devices=device_names, seed=seed)
+    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
+
+    # Homogeneous: every client holds data from the same device (the most common
+    # one).  The homogeneous arm captures a larger pool from that single device so
+    # that both arms see the same *total* amount of training data — otherwise the
+    # comparison would conflate device heterogeneity with dataset size.
+    homo_device = DOMINANT_DEVICES[0] if DOMINANT_DEVICES[0] in device_names else device_names[0]
+    homo_scale = scale.with_overrides(
+        samples_per_class_train=scale.samples_per_class_train * len(device_names)
+    )
+    homo_bundle = _build_bundle(homo_scale, devices=[homo_device], seed=seed)
+    homo_clients = build_client_specs({homo_device: homo_bundle.train[homo_device]},
+                                      num_clients=scale.num_clients, seed=seed)
+    homo_cfg = _fl_config(scale, scale.num_clients, seed)
+    homo_sim = FederatedSimulation(factory, homo_clients,
+                                   {homo_device: homo_bundle.test[homo_device]},
+                                   FedAvg(), homo_cfg)
+    homo_hist = homo_sim.run()
+    homo_acc = mean_value(homo_hist.per_device_metric)
+
+    # Heterogeneous: market-share mixture of all devices, tested on all devices.
+    shares = {name: share for name, share in market_shares().items() if name in device_names}
+    hetero_clients = build_client_specs(bundle.train, num_clients=scale.num_clients,
+                                        shares=shares, seed=seed)
+    hetero_sim = FederatedSimulation(factory, hetero_clients, bundle.test, FedAvg(),
+                                     _fl_config(scale, scale.num_clients, seed))
+    hetero_hist = hetero_sim.run()
+    hetero_acc = mean_value(hetero_hist.per_device_metric)
+
+    degradation = model_quality_degradation(homo_acc, hetero_acc)
+    rows = [
+        ["homogeneous", homo_device, homo_acc],
+        ["heterogeneous", "market-share mix", hetero_acc],
+    ]
+    return ExperimentResult(
+        experiment_id="fig1",
+        description="FL accuracy with homogeneous vs heterogeneous client devices",
+        headers=["setting", "devices", "accuracy"],
+        rows=rows,
+        scalars={
+            "homogeneous_accuracy": homo_acc,
+            "heterogeneous_accuracy": hetero_acc,
+            "degradation": degradation,
+        },
+        metadata={"scale": scale.name, "devices": device_names},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 2 / Fig. 2 — cross-device degradation matrix
+# --------------------------------------------------------------------------- #
+def _cross_device_matrix(scale: ExperimentScale, raw: bool,
+                         devices: Optional[Sequence[str]], seed: int) -> ExperimentResult:
+    device_names = list(devices) if devices else DEVICE_NAMES
+    bundle = _build_bundle(scale, devices=device_names, raw=raw, seed=seed)
+
+    accuracy_matrix: Dict[str, Dict[str, float]] = {}
+    for train_device in device_names:
+        model = _train_on_device(bundle, train_device, scale, seed=seed)
+        accuracy_matrix[train_device] = evaluate_on_devices(model, bundle.test)
+
+    headers = ["train \\ test"] + device_names + ["mean_others"]
+    rows: List[List[object]] = []
+    degradations: List[float] = []
+    per_target_degradation: Dict[str, List[float]] = {name: [] for name in device_names}
+    for train_device in device_names:
+        own_accuracy = accuracy_matrix[train_device][train_device]
+        row: List[object] = [train_device]
+        others: List[float] = []
+        for test_device in device_names:
+            degradation = model_quality_degradation(
+                own_accuracy, accuracy_matrix[train_device][test_device]
+            )
+            row.append(degradation if test_device != train_device else 0.0)
+            if test_device != train_device:
+                others.append(degradation)
+                degradations.append(degradation)
+                per_target_degradation[test_device].append(degradation)
+        row.append(float(np.mean(others)) if others else 0.0)
+        rows.append(row)
+    mean_others_row: List[object] = ["mean_others"]
+    for test_device in device_names:
+        values = per_target_degradation[test_device]
+        mean_others_row.append(float(np.mean(values)) if values else 0.0)
+    mean_others_row.append(float(np.mean(degradations)) if degradations else 0.0)
+    rows.append(mean_others_row)
+
+    experiment_id = "fig2" if raw else "table2"
+    description = (
+        "Cross-device model-quality degradation (RAW data)" if raw
+        else "Cross-device model-quality degradation (ISP-processed images)"
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        description=description,
+        headers=headers,
+        rows=rows,
+        scalars={
+            "mean_degradation": float(np.mean(degradations)) if degradations else 0.0,
+            "max_degradation": float(np.max(degradations)) if degradations else 0.0,
+        },
+        metadata={"scale": scale.name, "raw": raw, "devices": device_names,
+                  "accuracy_matrix": accuracy_matrix},
+    )
+
+
+def table2_cross_device(scale: "str | ExperimentScale" = "smoke",
+                        devices: Optional[Sequence[str]] = None,
+                        seed: int = 0) -> ExperimentResult:
+    """Table 2: train on each device's processed images, test on all devices."""
+    return _cross_device_matrix(get_scale(scale), raw=False, devices=devices, seed=seed)
+
+
+def fig2_raw_degradation(scale: "str | ExperimentScale" = "smoke",
+                         devices: Optional[Sequence[str]] = None,
+                         seed: int = 0) -> ExperimentResult:
+    """Fig. 2: the cross-device degradation matrix computed on RAW captures."""
+    return _cross_device_matrix(get_scale(scale), raw=True, devices=devices, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 3 — ISP stage ablation
+# --------------------------------------------------------------------------- #
+def fig3_isp_stage_ablation(scale: "str | ExperimentScale" = "smoke",
+                            devices: Optional[Sequence[str]] = None,
+                            seed: int = 0) -> ExperimentResult:
+    """Fig. 3: model-quality degradation when one ISP stage is omitted/replaced.
+
+    The model is trained on images processed by the Baseline ISP (Table 3) and
+    tested on images whose ISP replaces a single stage with Option 1 (omitted)
+    or Option 2 (alternative algorithm).
+    """
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else DEVICE_NAMES[:3]
+
+    baseline_bundle = _build_bundle(scale, devices=device_names, isp_override=BASELINE_CONFIG,
+                                    seed=seed)
+    # Train one model on the pooled baseline-ISP images of the selected devices.
+    pooled = None
+    for device in device_names:
+        pooled = baseline_bundle.train[device] if pooled is None else pooled.merge(
+            baseline_bundle.train[device]
+        )
+    factory = make_model_factory(scale, baseline_bundle.num_classes, baseline_bundle.image_size,
+                                 seed=seed)
+    model = train_centralized(
+        factory(), pooled, epochs=scale.central_epochs, batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate, seed=seed,
+    )
+
+    baseline_accuracy = mean_value(evaluate_on_devices(model, baseline_bundle.test))
+
+    rows: List[List[object]] = []
+    degradations: Dict[str, float] = {}
+    for variant in stage_variants(BASELINE_CONFIG):
+        variant_bundle = _build_bundle(scale, devices=device_names, isp_override=variant, seed=seed)
+        accuracy = mean_value(evaluate_on_devices(model, variant_bundle.test))
+        degradation = model_quality_degradation(baseline_accuracy, accuracy)
+        rows.append([variant.name, accuracy, degradation])
+        degradations[variant.name] = degradation
+
+    color_tone = [value for name, value in degradations.items()
+                  if name.startswith(("white_balance", "tone"))]
+    other = [value for name, value in degradations.items()
+             if not name.startswith(("white_balance", "tone"))]
+    return ExperimentResult(
+        experiment_id="fig3",
+        description="Model-quality degradation per ISP-stage substitution",
+        headers=["isp_variant", "accuracy", "degradation"],
+        rows=rows,
+        scalars={
+            "baseline_accuracy": baseline_accuracy,
+            "mean_degradation": float(np.mean(list(degradations.values()))),
+            "mean_color_tone_degradation": float(np.mean(color_tone)) if color_tone else 0.0,
+            "mean_other_degradation": float(np.mean(other)) if other else 0.0,
+        },
+        metadata={"scale": scale.name, "devices": device_names},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4 — fairness toward dominant devices
+# --------------------------------------------------------------------------- #
+def fig4_fairness(scale: "str | ExperimentScale" = "smoke",
+                  devices: Optional[Sequence[str]] = None,
+                  seed: int = 0) -> ExperimentResult:
+    """Fig. 4: per-device degradation relative to the dominant devices (S9, S6).
+
+    Clients are allocated by market share; the global model's accuracy on each
+    device is compared with the best accuracy among the dominant devices.
+    """
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else DEVICE_NAMES
+    bundle = _build_bundle(scale, devices=device_names, seed=seed)
+    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
+
+    shares = {name: share for name, share in market_shares().items() if name in device_names}
+    clients = build_client_specs(bundle.train, num_clients=scale.num_clients, shares=shares,
+                                 seed=seed)
+    sim = FederatedSimulation(factory, clients, bundle.test, FedAvg(),
+                              _fl_config(scale, scale.num_clients, seed))
+    history = sim.run()
+    per_device = history.per_device_metric
+
+    dominant = [d for d in DOMINANT_DEVICES if d in per_device]
+    if not dominant:
+        dominant = [max(per_device, key=per_device.get)]
+    dominant_accuracy = max(per_device[d] for d in dominant)
+
+    rows: List[List[object]] = []
+    degradations: Dict[str, float] = {}
+    for device in device_names:
+        degradation = model_quality_degradation(dominant_accuracy, per_device[device])
+        rows.append([device, per_device[device], degradation])
+        if device not in dominant:
+            degradations[device] = degradation
+
+    return ExperimentResult(
+        experiment_id="fig4",
+        description="Per-device degradation vs the dominant devices under market-share FL",
+        headers=["device", "accuracy", "degradation_vs_dominant"],
+        rows=rows,
+        scalars={
+            "dominant_accuracy": dominant_accuracy,
+            "mean_nondominant_degradation": float(np.mean(list(degradations.values())))
+            if degradations else 0.0,
+            "max_nondominant_degradation": float(np.max(list(degradations.values())))
+            if degradations else 0.0,
+        },
+        metadata={"scale": scale.name, "dominant": dominant, "per_device": per_device},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5 — leave-one-device-out domain generalization
+# --------------------------------------------------------------------------- #
+def fig5_domain_generalization(scale: "str | ExperimentScale" = "smoke",
+                               devices: Optional[Sequence[str]] = None,
+                               seed: int = 0) -> ExperimentResult:
+    """Fig. 5: accuracy change on a device when it is excluded from FL training.
+
+    For each device: run FL with uniform participation of all *other* devices
+    and measure accuracy on the excluded device; compare with the accuracy on
+    that device when every device participates equally.
+    """
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else DEVICE_NAMES
+    bundle = _build_bundle(scale, devices=device_names, seed=seed)
+    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
+
+    uniform_shares = {name: 1.0 for name in device_names}
+    all_clients = build_client_specs(bundle.train, num_clients=scale.num_clients,
+                                     shares=uniform_shares, seed=seed)
+    reference_sim = FederatedSimulation(factory, all_clients, bundle.test, FedAvg(),
+                                        _fl_config(scale, scale.num_clients, seed))
+    reference = reference_sim.run().per_device_metric
+
+    rows: List[List[object]] = []
+    degradations: Dict[str, float] = {}
+    for excluded in device_names:
+        clients = build_client_specs(bundle.train, num_clients=scale.num_clients,
+                                     shares=uniform_shares, seed=seed, exclude=[excluded])
+        sim = FederatedSimulation(factory, clients, {excluded: bundle.test[excluded]}, FedAvg(),
+                                  _fl_config(scale, scale.num_clients, seed))
+        unseen_accuracy = sim.run().per_device_metric[excluded]
+        degradation = model_quality_degradation(reference[excluded], unseen_accuracy)
+        rows.append([excluded, reference[excluded], unseen_accuracy, degradation])
+        degradations[excluded] = degradation
+
+    values = list(degradations.values())
+    return ExperimentResult(
+        experiment_id="fig5",
+        description="Leave-one-device-out domain generalization",
+        headers=["excluded_device", "accuracy_all_devices", "accuracy_when_excluded", "degradation"],
+        rows=rows,
+        scalars={
+            "mean_degradation": float(np.mean(values)),
+            "max_degradation": float(np.max(values)),
+            "min_degradation": float(np.min(values)),
+        },
+        metadata={"scale": scale.name, "devices": device_names, "per_device": degradations},
+    )

@@ -1,0 +1,342 @@
+"""Evaluation experiments: Section 6 of the paper.
+
+* :func:`table4_main_evaluation`     — Table 4: DG / fairness for every method.
+* :func:`table5_model_architectures` — Table 5: FedAvg vs HeteroSwitch across models.
+* :func:`table6_flair`               — Table 6: FLAIR-like multi-label evaluation.
+* :func:`fig8_synthetic_cifar`       — Fig. 8: synthetic-CIFAR per-device accuracy.
+* :func:`ecg_heart_rate`             — Section 6.6: ECG heart-rate deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.transforms import ecg_transform
+from ..data.capture import build_device_datasets
+from ..data.cifar_synthetic import SyntheticCifarConfig, build_synthetic_cifar
+from ..data.ecg import build_ecg_datasets
+from ..data.flair_synthetic import FlairConfig, build_flair_dataset
+from ..data.partition import build_client_specs
+from ..devices.profiles import DEVICE_NAMES, market_shares
+from ..fl.config import FLConfig
+from ..fl.metrics import accuracy_variance, heart_rate_deviation, mean_value, worst_case
+from ..fl.simulation import FederatedSimulation, FLHistory
+from ..fl.strategies import create_strategy
+from ..fl.training import evaluate_metric
+from ..nn.tensor import Tensor, no_grad
+from .factories import make_model_factory
+from .results import ExperimentResult
+from .scale import ExperimentScale, get_scale
+
+__all__ = [
+    "TABLE4_METHODS",
+    "run_fl_method",
+    "table4_main_evaluation",
+    "table5_model_architectures",
+    "table6_flair",
+    "fig8_synthetic_cifar",
+    "ecg_heart_rate",
+]
+
+# The rows of Table 4, in the paper's order.
+TABLE4_METHODS = (
+    "fedavg",
+    "isp_transform",
+    "isp_swad",
+    "heteroswitch",
+    "qfedavg",
+    "fedprox",
+    "scaffold",
+)
+
+
+def run_fl_method(
+    method: str,
+    model_factory,
+    train_sets,
+    test_sets,
+    scale: ExperimentScale,
+    task: str = "classification",
+    shares=None,
+    seed: int = 0,
+    strategy_kwargs: Optional[dict] = None,
+) -> FLHistory:
+    """Run one FL method end-to-end and return its history.
+
+    This is the shared engine behind Tables 4-6 and Fig. 8: it builds the
+    client population (market-share weighted unless ``shares`` overrides it),
+    configures FL from the scale preset, and runs the named strategy.
+    """
+    clients = build_client_specs(train_sets, num_clients=scale.num_clients,
+                                 shares=shares, seed=seed)
+    config = FLConfig(
+        num_clients=scale.num_clients,
+        clients_per_round=min(scale.clients_per_round, scale.num_clients),
+        num_rounds=scale.num_rounds,
+        local_epochs=scale.local_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        task=task,
+        seed=seed,
+    )
+    strategy = create_strategy(method, **(strategy_kwargs or {}))
+    simulation = FederatedSimulation(model_factory, clients, test_sets, strategy, config)
+    return simulation.run()
+
+
+# --------------------------------------------------------------------------- #
+# Table 4 — main evaluation
+# --------------------------------------------------------------------------- #
+def table4_main_evaluation(
+    scale: "str | ExperimentScale" = "smoke",
+    methods: Sequence[str] = TABLE4_METHODS,
+    devices: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 4: worst-case accuracy (DG), variance and average accuracy (fairness).
+
+    Clients follow the Table 1 market shares; the global model is evaluated on
+    each device type's held-out set.
+    """
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else DEVICE_NAMES
+    bundle = build_device_datasets(
+        samples_per_class_train=scale.samples_per_class_train,
+        samples_per_class_test=scale.samples_per_class_test,
+        num_classes=scale.num_classes,
+        image_size=scale.image_size,
+        scene_size=scale.scene_size,
+        devices=device_names,
+        seed=seed,
+    )
+    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
+    shares = {name: share for name, share in market_shares().items() if name in device_names}
+
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+    per_method: Dict[str, Dict[str, float]] = {}
+    for method in methods:
+        history = run_fl_method(method, factory, bundle.train, bundle.test, scale,
+                                shares=shares, seed=seed)
+        metrics = history.per_device_metric
+        per_method[method] = metrics
+        worst = worst_case(metrics)
+        variance = accuracy_variance(metrics)
+        average = mean_value(metrics)
+        rows.append([method, worst, variance, average])
+        scalars[f"{method}_worst_case"] = worst
+        scalars[f"{method}_variance"] = variance
+        scalars[f"{method}_average"] = average
+
+    return ExperimentResult(
+        experiment_id="table4",
+        description="Main evaluation: DG worst-case accuracy and fairness variance/average",
+        headers=["method", "worst_case_accuracy", "variance", "average_accuracy"],
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "devices": device_names, "per_method": per_method},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 5 — model architectures
+# --------------------------------------------------------------------------- #
+def table5_model_architectures(
+    scale: "str | ExperimentScale" = "smoke",
+    model_names: Sequence[str] = ("mobilenetv3_small", "shufflenet_v2_x0_5", "squeezenet1_1"),
+    methods: Sequence[str] = ("fedavg", "heteroswitch"),
+    devices: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 5: FedAvg vs HeteroSwitch across mobile-friendly model architectures."""
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else DEVICE_NAMES
+    bundle = build_device_datasets(
+        samples_per_class_train=scale.samples_per_class_train,
+        samples_per_class_test=scale.samples_per_class_test,
+        num_classes=scale.num_classes,
+        image_size=scale.image_size,
+        scene_size=scale.scene_size,
+        devices=device_names,
+        seed=seed,
+    )
+    shares = {name: share for name, share in market_shares().items() if name in device_names}
+
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+    for model_name in model_names:
+        factory = make_model_factory(scale, bundle.num_classes, bundle.image_size,
+                                     model_name=model_name, seed=seed)
+        for method in methods:
+            history = run_fl_method(method, factory, bundle.train, bundle.test, scale,
+                                    shares=shares, seed=seed)
+            metrics = history.per_device_metric
+            worst = worst_case(metrics)
+            variance = accuracy_variance(metrics)
+            average = mean_value(metrics)
+            rows.append([model_name, method, worst, variance, average])
+            scalars[f"{model_name}_{method}_worst_case"] = worst
+            scalars[f"{model_name}_{method}_variance"] = variance
+            scalars[f"{model_name}_{method}_average"] = average
+
+    return ExperimentResult(
+        experiment_id="table5",
+        description="FedAvg vs HeteroSwitch across model architectures",
+        headers=["model", "method", "worst_case_accuracy", "variance", "average_accuracy"],
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "models": list(model_names)},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 6 — FLAIR-like multi-label evaluation
+# --------------------------------------------------------------------------- #
+def table6_flair(
+    scale: "str | ExperimentScale" = "smoke",
+    methods: Sequence[str] = ("fedavg", "heteroswitch", "qfedavg", "fedprox"),
+    num_device_types: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 6: averaged precision and its variance on the FLAIR-like dataset."""
+    scale = get_scale(scale)
+    device_types = num_device_types if num_device_types is not None else (
+        6 if scale.name == "smoke" else 15
+    )
+    config = FlairConfig(
+        num_labels=6 if scale.name == "smoke" else 8,
+        num_device_types=device_types,
+        samples_per_device_train=max(scale.samples_per_class_train * 3, 9),
+        samples_per_device_test=max(scale.samples_per_class_test * 3, 6),
+        image_size=scale.image_size,
+        seed=seed,
+    )
+    train_sets, test_sets, devices = build_flair_dataset(config)
+    factory = make_model_factory(
+        scale, config.num_labels, config.image_size,
+        model_name="multilabel_cnn" if scale.name != "smoke" else "simple_mlp",
+        seed=seed,
+    )
+
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+    for method in methods:
+        history = run_fl_method(method, factory, train_sets, test_sets, scale,
+                                task="multilabel", seed=seed)
+        metrics = history.per_device_metric
+        average_precision_value = mean_value(metrics)
+        variance = accuracy_variance(metrics)
+        rows.append([method, average_precision_value, variance])
+        scalars[f"{method}_averaged_precision"] = average_precision_value
+        scalars[f"{method}_variance"] = variance
+
+    return ExperimentResult(
+        experiment_id="table6",
+        description="FLAIR-like multi-label evaluation: averaged precision across device types",
+        headers=["method", "averaged_precision", "variance"],
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "num_device_types": device_types},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8 — synthetic CIFAR
+# --------------------------------------------------------------------------- #
+def fig8_synthetic_cifar(
+    scale: "str | ExperimentScale" = "smoke",
+    methods: Sequence[str] = ("fedavg", "heteroswitch"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 8: per-synthetic-device accuracy with FedAvg vs HeteroSwitch."""
+    scale = get_scale(scale)
+    config = SyntheticCifarConfig(
+        num_classes=5 if scale.name == "smoke" else 20,
+        samples_per_class_train=scale.samples_per_class_train * 2,
+        samples_per_class_test=scale.samples_per_class_test * 2,
+        image_size=scale.image_size,
+        num_device_types=4 if scale.name == "smoke" else 10,
+        seed=seed,
+    )
+    train_sets, test_sets, devices = build_synthetic_cifar(config)
+    factory = make_model_factory(
+        scale, config.num_classes, config.image_size,
+        model_name="simple_cnn" if scale.name != "smoke" else "simple_mlp",
+        seed=seed,
+    )
+
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+    per_method: Dict[str, Dict[str, float]] = {}
+    for method in methods:
+        history = run_fl_method(method, factory, train_sets, test_sets, scale, seed=seed)
+        metrics = history.per_device_metric
+        per_method[method] = metrics
+        for device in sorted(metrics):
+            rows.append([method, device, metrics[device]])
+        scalars[f"{method}_average"] = mean_value(metrics)
+        scalars[f"{method}_variance"] = accuracy_variance(metrics)
+
+    return ExperimentResult(
+        experiment_id="fig8",
+        description="Synthetic-CIFAR per-device accuracy: FedAvg vs HeteroSwitch",
+        headers=["method", "synthetic_device", "accuracy"],
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "num_device_types": config.num_device_types,
+                  "per_method": per_method},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.6 — ECG heart-rate deviation
+# --------------------------------------------------------------------------- #
+def ecg_heart_rate(
+    scale: "str | ExperimentScale" = "smoke",
+    methods: Sequence[str] = ("fedavg", "heteroswitch"),
+    window_size: int = 64,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Section 6.6: heart-rate prediction deviation across ECG sensor types.
+
+    HeteroSwitch uses its random-Gaussian-filter transform for this 1-D task.
+    The reported number mirrors the paper's: the mean relative deviation of
+    predictions across sensor types (lower is better).
+    """
+    scale = get_scale(scale)
+    samples_train = max(scale.samples_per_class_train * 6, 24)
+    samples_test = max(scale.samples_per_class_test * 6, 12)
+    train_sets, test_sets, sensors = build_ecg_datasets(
+        samples_per_sensor_train=samples_train,
+        samples_per_sensor_test=samples_test,
+        window_size=window_size,
+        seed=seed,
+    )
+    factory = make_model_factory(scale, 1, window_size, model_name="ecg_regressor", seed=seed)
+
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+    for method in methods:
+        strategy_kwargs = {}
+        if method in ("heteroswitch", "isp_transform", "isp_swad"):
+            strategy_kwargs["transform"] = ecg_transform()
+        history = run_fl_method(method, factory, train_sets, test_sets, scale,
+                                task="regression", seed=seed, strategy_kwargs=strategy_kwargs)
+        # Convert the simulation's "1 - deviation" metric back to deviation.
+        deviations = {sensor: 1.0 - value for sensor, value in history.per_device_metric.items()}
+        for sensor in sorted(deviations):
+            rows.append([method, sensor, deviations[sensor]])
+        scalars[f"{method}_mean_deviation"] = float(np.mean(list(deviations.values())))
+        scalars[f"{method}_worst_deviation"] = float(np.max(list(deviations.values())))
+
+    return ExperimentResult(
+        experiment_id="ecg",
+        description="ECG heart-rate deviation across sensor types",
+        headers=["method", "sensor", "deviation"],
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "window_size": window_size,
+                  "sensors": [s.name for s in sensors]},
+    )

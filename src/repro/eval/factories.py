@@ -1,0 +1,47 @@
+"""Model-factory helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..nn.layers import Module
+from ..nn.models import create_model
+from .scale import ExperimentScale
+
+__all__ = ["make_model_factory"]
+
+
+def make_model_factory(
+    scale: ExperimentScale,
+    num_classes: int,
+    image_size: int,
+    in_channels: int = 3,
+    model_name: str | None = None,
+    seed: int = 0,
+) -> Callable[[], Module]:
+    """Build a zero-argument model factory appropriate for the given scale.
+
+    The factory always uses the same seed so every FL strategy (and every
+    repetition of an experiment) starts from identical initial weights —
+    matching the paper's protocol where methods are compared from a common
+    initialization.
+    """
+    name = model_name or scale.model_name
+
+    def factory() -> Module:
+        if name in ("simple_mlp", "linear"):
+            return create_model(name, input_dim=in_channels * image_size * image_size,
+                                num_classes=num_classes, seed=seed)
+        if name == "simple_cnn":
+            return create_model(name, num_classes=num_classes, in_channels=in_channels,
+                                image_size=image_size, seed=seed)
+        if name == "multilabel_cnn":
+            return create_model(name, num_labels=num_classes, in_channels=in_channels,
+                                image_size=image_size, seed=seed)
+        if name == "ecg_regressor":
+            return create_model(name, window_size=image_size, seed=seed)
+        # Mobile CNN zoo (MobileNetV3 / ShuffleNet / SqueezeNet analogues).
+        return create_model(name, num_classes=num_classes, in_channels=in_channels,
+                            width_mult=scale.width_mult, seed=seed)
+
+    return factory

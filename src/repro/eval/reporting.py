@@ -1,0 +1,50 @@
+"""Report generation: render experiment results to markdown / CSV files."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .results import ExperimentResult
+
+__all__ = ["results_to_markdown", "result_to_csv", "write_report"]
+
+
+def results_to_markdown(results: Sequence[ExperimentResult], title: str = "Experiment report") -> str:
+    """Concatenate experiment results into a single markdown document."""
+    parts = [f"# {title}", ""]
+    for result in results:
+        parts.append(result.to_markdown())
+        parts.append("")
+    return "\n".join(parts)
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render one experiment's table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_report(
+    results: Iterable[ExperimentResult],
+    output_dir: "str | Path",
+    title: str = "HeteroSwitch reproduction report",
+) -> Path:
+    """Write a markdown report plus per-experiment CSVs under ``output_dir``.
+
+    Returns the path of the markdown report.
+    """
+    output_path = Path(output_dir)
+    output_path.mkdir(parents=True, exist_ok=True)
+    results = list(results)
+    report_file = output_path / "report.md"
+    report_file.write_text(results_to_markdown(results, title=title))
+    for result in results:
+        (output_path / f"{result.experiment_id}.csv").write_text(result_to_csv(result))
+    return report_file

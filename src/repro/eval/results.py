@@ -1,0 +1,73 @@
+"""Result containers and table formatting shared by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "format_mapping"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join(["---"] * len(headers)) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, float], key_header: str = "key",
+                   value_header: str = "value") -> str:
+    """Render a one-column mapping as a markdown table."""
+    return format_table([key_header, value_header], list(mapping.items()))
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record produced by every experiment runner.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact identifier, e.g. ``"table2"`` or ``"fig7"``.
+    description:
+        One-line description of what was measured.
+    headers / rows:
+        The regenerated table: the same rows/series the paper reports, at the
+        runner's scale.
+    scalars:
+        Headline numbers (e.g. "mean_degradation") for quick assertions.
+    metadata:
+        Scale name, devices, and any runner-specific extras.
+    """
+
+    experiment_id: str
+    description: str
+    headers: List[str]
+    rows: List[List[object]]
+    scalars: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        """Full markdown rendering (title, table, scalar summary)."""
+        parts = [f"### {self.experiment_id}: {self.description}", ""]
+        parts.append(format_table(self.headers, self.rows))
+        if self.scalars:
+            parts.append("")
+            parts.append(format_mapping(self.scalars, key_header="metric", value_header="value"))
+        return "\n".join(parts)
+
+    def scalar(self, name: str) -> float:
+        """Fetch a headline scalar, raising a helpful error if missing."""
+        try:
+            return self.scalars[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"scalar '{name}' not recorded for {self.experiment_id}; "
+                f"available: {sorted(self.scalars)}"
+            ) from exc

@@ -1,0 +1,116 @@
+"""Experiment scale presets.
+
+Every experiment runner accepts an :class:`ExperimentScale` that controls how
+much data, how many clients and how many rounds it uses.  The paper's full
+settings (N=100, K=20, T=1000, MobileNetV3-small on full-resolution captures)
+are far beyond what a pure-NumPy CPU substrate can finish in a test suite, so
+three presets are provided:
+
+* ``smoke``   — seconds per experiment; used by unit/integration tests.
+* ``default`` — a couple of minutes per experiment; used by the benchmark
+  harness to regenerate each table/figure with a meaningful signal.
+* ``paper``   — the paper's nominal parameters (kept for completeness; running
+  it requires patience but no code changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by the experiment runners."""
+
+    name: str
+    # Device-capture dataset (Sections 3, 4, 6.1-6.3).
+    samples_per_class_train: int
+    samples_per_class_test: int
+    num_classes: int
+    image_size: int
+    scene_size: int
+    # FL settings.
+    num_clients: int
+    clients_per_round: int
+    num_rounds: int
+    local_epochs: int
+    batch_size: int
+    learning_rate: float
+    # Centralized characterization training.
+    central_epochs: int
+    # Model selection: registry name + width multiplier for the CNN zoo.
+    model_name: str
+    width_mult: float
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+SCALES = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        samples_per_class_train=3,
+        samples_per_class_test=2,
+        num_classes=4,
+        image_size=16,
+        scene_size=32,
+        num_clients=12,
+        clients_per_round=4,
+        num_rounds=3,
+        local_epochs=1,
+        batch_size=4,
+        # The smoke preset trains a plain MLP on flattened pixels, which needs a
+        # smaller step size than the batch-normalized CNNs of the larger presets.
+        learning_rate=0.02,
+        central_epochs=3,
+        model_name="simple_mlp",
+        width_mult=0.5,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        samples_per_class_train=8,
+        samples_per_class_test=4,
+        num_classes=8,
+        image_size=24,
+        scene_size=48,
+        num_clients=40,
+        clients_per_round=10,
+        num_rounds=15,
+        local_epochs=1,
+        batch_size=10,
+        learning_rate=0.1,
+        central_epochs=12,
+        model_name="mobilenetv3_small",
+        width_mult=1.0,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        samples_per_class_train=40,
+        samples_per_class_test=20,
+        num_classes=12,
+        image_size=32,
+        scene_size=64,
+        num_clients=100,
+        clients_per_round=20,
+        num_rounds=1000,
+        local_epochs=1,
+        batch_size=10,
+        learning_rate=0.1,
+        central_epochs=30,
+        model_name="mobilenetv3_small",
+        width_mult=1.0,
+    ),
+}
+
+
+def get_scale(scale: "str | ExperimentScale") -> ExperimentScale:
+    """Resolve a scale preset by name, or pass a custom scale through."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError as exc:
+        raise KeyError(f"unknown scale '{scale}'; available: {sorted(SCALES)}") from exc

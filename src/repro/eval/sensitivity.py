@@ -1,0 +1,114 @@
+"""Fig. 9 (appendix): hyperparameter sensitivity of the FL setup.
+
+The paper sweeps learning rate, mini-batch size, local epochs and the number of
+communication rounds, and selects (0.1, 10, 1, 1000).  This runner repeats the
+sweep at simulation scale: each hyperparameter is varied in isolation around
+the scale preset's base configuration and the resulting average accuracy is
+reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.capture import build_device_datasets
+from ..data.partition import build_client_specs
+from ..devices.profiles import DEVICE_NAMES, market_shares
+from ..fl.config import FLConfig
+from ..fl.metrics import mean_value
+from ..fl.simulation import FederatedSimulation
+from ..fl.strategies.base import FedAvg
+from .factories import make_model_factory
+from .results import ExperimentResult
+from .scale import ExperimentScale, get_scale
+
+__all__ = ["fig9_hyperparameter_sensitivity", "DEFAULT_SWEEPS"]
+
+# The paper's grids (appendix A.2), expressed relative to the scaled round budget.
+DEFAULT_SWEEPS: Mapping[str, Sequence[float]] = {
+    "learning_rate": (0.001, 0.01, 0.1),
+    "batch_size": (1, 10, 20),
+    "local_epochs": (1, 3, 5),
+    "num_rounds_factor": (0.1, 0.5, 1.0),  # fraction of the scale's round budget
+}
+
+
+def fig9_hyperparameter_sensitivity(
+    scale: "str | ExperimentScale" = "smoke",
+    sweeps: Optional[Mapping[str, Sequence[float]]] = None,
+    devices: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 9: average accuracy as each FL hyperparameter varies in isolation."""
+    scale = get_scale(scale)
+    sweeps = dict(sweeps) if sweeps is not None else dict(DEFAULT_SWEEPS)
+    device_names = list(devices) if devices else DEVICE_NAMES[:4]
+
+    bundle = build_device_datasets(
+        samples_per_class_train=scale.samples_per_class_train,
+        samples_per_class_test=scale.samples_per_class_test,
+        num_classes=scale.num_classes,
+        image_size=scale.image_size,
+        scene_size=scale.scene_size,
+        devices=device_names,
+        seed=seed,
+    )
+    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
+    shares = {name: share for name, share in market_shares().items() if name in device_names}
+    clients = build_client_specs(bundle.train, num_clients=scale.num_clients, shares=shares,
+                                 seed=seed)
+
+    def run_config(learning_rate: float, batch_size: int, local_epochs: int,
+                   num_rounds: int) -> float:
+        config = FLConfig(
+            num_clients=scale.num_clients,
+            clients_per_round=min(scale.clients_per_round, scale.num_clients),
+            num_rounds=max(1, num_rounds),
+            local_epochs=local_epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            seed=seed,
+        )
+        simulation = FederatedSimulation(factory, clients, bundle.test, FedAvg(), config)
+        return mean_value(simulation.run().per_device_metric)
+
+    base = {
+        "learning_rate": scale.learning_rate,
+        "batch_size": scale.batch_size,
+        "local_epochs": scale.local_epochs,
+        "num_rounds": scale.num_rounds,
+    }
+
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+    for parameter, values in sweeps.items():
+        for value in values:
+            settings = dict(base)
+            if parameter == "num_rounds_factor":
+                settings["num_rounds"] = max(1, int(round(base["num_rounds"] * value)))
+                label = f"num_rounds={settings['num_rounds']}"
+            elif parameter in ("batch_size", "local_epochs"):
+                settings[parameter] = int(value)
+                label = f"{parameter}={int(value)}"
+            else:
+                settings[parameter] = float(value)
+                label = f"{parameter}={value}"
+            accuracy = run_config(
+                learning_rate=settings["learning_rate"],
+                batch_size=int(settings["batch_size"]),
+                local_epochs=int(settings["local_epochs"]),
+                num_rounds=int(settings["num_rounds"]),
+            )
+            rows.append([parameter, label, accuracy])
+            scalars[label] = accuracy
+
+    return ExperimentResult(
+        experiment_id="fig9",
+        description="Hyperparameter sensitivity of the FL setup (FedAvg)",
+        headers=["parameter", "setting", "average_accuracy"],
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "devices": device_names, "base": base},
+    )

@@ -1,0 +1,53 @@
+"""Configuration objects for federated-learning simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["FLConfig", "TASKS"]
+
+TASKS = ("classification", "multilabel", "regression")
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyperparameters of an FL run (Section 6 / Appendix A.2 of the paper).
+
+    Defaults follow the paper's selected values where feasible at simulation
+    scale: ``B = 10``, ``E = 1``, learning rate 0.1, ``K = 20`` participants per
+    round out of ``N = 100`` clients.  ``num_rounds`` defaults far below the
+    paper's 1000 because every experiment runner scales rounds to its compute
+    budget explicitly.
+    """
+
+    num_clients: int = 100
+    clients_per_round: int = 20
+    num_rounds: int = 20
+    local_epochs: int = 1
+    batch_size: int = 10
+    learning_rate: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    task: str = "classification"
+    ema_alpha: float = 0.9  # smoothing factor for L_EMA (Eq. 1, appendix: alpha = 0.9)
+    seed: int = 0
+    eval_every: int = 0  # 0 = evaluate only at the end
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not 0 < self.clients_per_round <= self.num_clients:
+            raise ValueError("clients_per_round must be in (0, num_clients]")
+        if self.num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if self.local_epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.task not in TASKS:
+            raise ValueError(f"task must be one of {TASKS}, got '{self.task}'")
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")

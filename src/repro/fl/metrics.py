@@ -1,0 +1,139 @@
+"""Evaluation metrics used throughout the paper's tables and figures.
+
+* classification accuracy and model-quality degradation (Tables 2, Fig. 2-5),
+* per-device accuracy variance, average and worst-case accuracy (Table 4, 5),
+* averaged precision for multi-label FLAIR-like data (Table 6),
+* heart-rate deviation for the ECG experiment (Section 6.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "model_quality_degradation",
+    "average_precision",
+    "mean_average_precision",
+    "accuracy_variance",
+    "worst_case",
+    "mean_value",
+    "heart_rate_deviation",
+    "summarize_per_device",
+]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of class logits against integer labels."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (N, C), got {logits.shape}")
+    if len(logits) != len(labels):
+        raise ValueError("logits and labels must have the same length")
+    if len(labels) == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    predictions = logits.argmax(axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def model_quality_degradation(reference_accuracy: float, accuracy_value: float) -> float:
+    """Relative accuracy drop vs a reference (the paper's "model quality degradation").
+
+    Defined as ``(reference - value) / reference`` and reported as a fraction;
+    0 means no degradation, negative values mean improvement over the reference.
+    """
+    if reference_accuracy <= 0:
+        return 0.0
+    return float((reference_accuracy - accuracy_value) / reference_accuracy)
+
+
+def average_precision(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve) for one label."""
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if scores.shape != targets.shape:
+        raise ValueError("scores and targets must have the same shape")
+    positives = targets.sum()
+    if positives == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    sorted_targets = targets[order]
+    cum_positives = np.cumsum(sorted_targets)
+    precision = cum_positives / np.arange(1, len(sorted_targets) + 1)
+    # AP = mean of precision at each positive hit.
+    return float((precision * sorted_targets).sum() / positives)
+
+
+def mean_average_precision(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Macro-averaged AP over labels (the FLAIR "averaged precision" metric)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape != targets.shape:
+        raise ValueError("scores and targets must both be (N, L) arrays")
+    per_label = [
+        average_precision(scores[:, label], targets[:, label])
+        for label in range(scores.shape[1])
+        if targets[:, label].sum() > 0
+    ]
+    if not per_label:
+        return 0.0
+    return float(np.mean(per_label))
+
+
+def accuracy_variance(per_device: Mapping[str, float]) -> float:
+    """Variance of a per-device metric, expressed in percentage-point^2 units.
+
+    The paper reports variance of accuracy percentages (e.g. 8.63 for FedAvg in
+    Table 4), so values given as fractions in [0, 1] are scaled to percent
+    before the variance is taken.
+    """
+    values = np.asarray(list(per_device.values()), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("per_device must not be empty")
+    if values.max() <= 1.0:
+        values = values * 100.0
+    return float(np.var(values))
+
+
+def worst_case(per_device: Mapping[str, float]) -> float:
+    """Worst-case (minimum) value of a per-device metric."""
+    values = list(per_device.values())
+    if not values:
+        raise ValueError("per_device must not be empty")
+    return float(min(values))
+
+
+def mean_value(per_device: Mapping[str, float]) -> float:
+    """Mean of a per-device metric."""
+    values = list(per_device.values())
+    if not values:
+        raise ValueError("per_device must not be empty")
+    return float(np.mean(values))
+
+
+def heart_rate_deviation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean relative deviation of heart-rate predictions (Section 6.6 metric).
+
+    Both arrays are in the normalized [0, 1] label space; the deviation is the
+    mean absolute error relative to the target magnitude.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    if len(targets) == 0:
+        raise ValueError("cannot compute deviation of an empty batch")
+    denom = np.maximum(np.abs(targets), 1e-6)
+    return float(np.mean(np.abs(predictions - targets) / denom))
+
+
+def summarize_per_device(per_device: Mapping[str, float]) -> Dict[str, float]:
+    """Convenience bundle of the Table 4 fairness/DG metrics for one method."""
+    return {
+        "worst_case": worst_case(per_device),
+        "variance": accuracy_variance(per_device),
+        "average": mean_value(per_device),
+    }

@@ -1,0 +1,184 @@
+"""The federated-learning simulation loop (server + round orchestration).
+
+:class:`FederatedSimulation` reproduces the standard cross-device FL protocol
+of Section 2.1: each round the server samples ``K`` of the ``N`` clients,
+broadcasts the global weights, collects locally-trained results via the active
+strategy, aggregates them, and updates the EMA of the aggregated training loss
+that HeteroSwitch's switching consults.  Per-device evaluation on held-out test
+sets produces the fairness / domain-generalization metrics of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.ema import EMALossTracker
+from ..data.dataset import ArrayDataset
+from ..data.partition import ClientSpec
+from ..nn.layers import Module
+from ..nn.serialization import get_weights, set_weights
+from .config import FLConfig
+from .metrics import summarize_per_device
+from .strategies.base import FLContext, Strategy
+from .training import ClientResult, evaluate_metric
+
+__all__ = ["RoundRecord", "FLHistory", "FederatedSimulation"]
+
+StateDict = Dict[str, np.ndarray]
+ModelFactory = Callable[[], Module]
+
+
+@dataclass
+class RoundRecord:
+    """Bookkeeping for one communication round."""
+
+    round_index: int
+    selected_clients: List[int]
+    mean_train_loss: float
+    ema_loss: float
+    num_switch1: int = 0
+    num_switch2: int = 0
+
+
+@dataclass
+class FLHistory:
+    """Full record of an FL run: per-round stats and final per-device metrics."""
+
+    strategy: str
+    rounds: List[RoundRecord] = field(default_factory=list)
+    per_device_metric: Dict[str, float] = field(default_factory=dict)
+    evaluations: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Worst-case / variance / average of the final per-device metric."""
+        return summarize_per_device(self.per_device_metric)
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.rounds:
+            raise RuntimeError("no rounds recorded")
+        return self.rounds[-1].mean_train_loss
+
+
+class FederatedSimulation:
+    """Orchestrates a full FL run for a given strategy.
+
+    Parameters
+    ----------
+    model_fn:
+        Zero-argument callable building a fresh model; every run starts from
+        the same initialization (the factory should use a fixed seed).
+    clients:
+        The client population (id, device type, local dataset).
+    test_sets:
+        Per-device held-out datasets used for the final evaluation.
+    strategy:
+        The FL algorithm under test.
+    config:
+        FL hyperparameters.
+    """
+
+    def __init__(
+        self,
+        model_fn: ModelFactory,
+        clients: Sequence[ClientSpec],
+        test_sets: Mapping[str, ArrayDataset],
+        strategy: Strategy,
+        config: FLConfig,
+    ) -> None:
+        if not clients:
+            raise ValueError("client population must not be empty")
+        if not test_sets:
+            raise ValueError("test_sets must not be empty")
+        if config.num_clients != len(clients):
+            # Keep the config authoritative but consistent with reality.
+            raise ValueError(
+                f"config.num_clients ({config.num_clients}) does not match the "
+                f"provided client population ({len(clients)})"
+            )
+        self.model_fn = model_fn
+        self.clients = list(clients)
+        self.test_sets = dict(test_sets)
+        self.strategy = strategy
+        self.config = config
+
+        self._model = model_fn()
+        self._global_state: StateDict = get_weights(self._model)
+        self.context = FLContext(
+            config=config,
+            ema=EMALossTracker(alpha=config.ema_alpha),
+            rng=np.random.default_rng(config.seed),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def global_state(self) -> StateDict:
+        """Copy of the current global model weights."""
+        return {key: value.copy() for key, value in self._global_state.items()}
+
+    def global_model(self) -> Module:
+        """A model instance loaded with the current global weights."""
+        model = self.model_fn()
+        set_weights(model, self._global_state)
+        return model
+
+    # ------------------------------------------------------------------ #
+    def select_clients(self, round_index: int) -> List[ClientSpec]:
+        """Uniformly sample ``K`` clients without replacement for this round."""
+        k = min(self.config.clients_per_round, len(self.clients))
+        indices = self.context.rng.choice(len(self.clients), size=k, replace=False)
+        del round_index  # sampling is stateless given the shared RNG stream
+        return [self.clients[i] for i in indices]
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one communication round and return its record."""
+        self.context.round_index = round_index
+        selected = self.select_clients(round_index)
+        results: List[ClientResult] = []
+        for spec in selected:
+            result = self.strategy.client_update(
+                self._model, spec, self.global_state, self.context
+            )
+            results.append(result)
+
+        self._global_state = self.strategy.aggregate(self._global_state, results, self.context)
+        self.strategy.on_round_end(self.context, results)
+
+        switch_info = [r.metadata.get("switch") for r in results]
+        num_switch1 = sum(1 for s in switch_info if s is not None and s.switch1)
+        num_switch2 = sum(1 for s in switch_info if s is not None and s.switch2)
+        mean_loss = float(np.mean([r.train_loss for r in results]))
+        return RoundRecord(
+            round_index=round_index,
+            selected_clients=[spec.client_id for spec in selected],
+            mean_train_loss=mean_loss,
+            ema_loss=float(self.context.ema.value),
+            num_switch1=num_switch1,
+            num_switch2=num_switch2,
+        )
+
+    def evaluate(self) -> Dict[str, float]:
+        """Evaluate the current global model on every per-device test set."""
+        model = self.global_model()
+        return {
+            device: evaluate_metric(model, dataset, self.config.task)
+            for device, dataset in self.test_sets.items()
+        }
+
+    def run(self, num_rounds: Optional[int] = None) -> FLHistory:
+        """Run the full simulation and return its history."""
+        rounds = num_rounds if num_rounds is not None else self.config.num_rounds
+        if rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        history = FLHistory(strategy=self.strategy.name)
+        for round_index in range(rounds):
+            record = self.run_round(round_index)
+            history.rounds.append(record)
+            if self.config.eval_every and (round_index + 1) % self.config.eval_every == 0:
+                history.evaluations.append(self.evaluate())
+        history.per_device_metric = self.evaluate()
+        return history

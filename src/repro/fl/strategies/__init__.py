@@ -1,0 +1,71 @@
+"""FL strategies: FedAvg baseline, prior works, and the HeteroSwitch family.
+
+The HeteroSwitch strategies live in :mod:`repro.core` (they are the paper's
+contribution); they are re-exported here lazily so the two packages can depend
+on each other without an import cycle, and the simulation layer can build any
+method in Table 4 from one registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import FedAvg, FLContext, Strategy
+from .fedprox import FedProx
+from .qfedavg import QFedAvg
+from .scaffold import Scaffold
+
+__all__ = [
+    "Strategy",
+    "FLContext",
+    "FedAvg",
+    "FedProx",
+    "QFedAvg",
+    "Scaffold",
+    "HeteroSwitch",
+    "ISPTransformOnly",
+    "ISPTransformWithSWAD",
+    "STRATEGY_REGISTRY",
+    "create_strategy",
+]
+
+_CORE_STRATEGIES = ("HeteroSwitch", "ISPTransformOnly", "ISPTransformWithSWAD")
+
+
+def __getattr__(name: str):
+    """Lazily resolve the HeteroSwitch strategy classes from :mod:`repro.core`."""
+    if name in _CORE_STRATEGIES:
+        from ...core import heteroswitch as _hs
+
+        return getattr(_hs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _core_factory(name: str) -> Callable[..., Strategy]:
+    def factory(**kwargs) -> Strategy:
+        from ...core import heteroswitch as _hs
+
+        return getattr(_hs, name)(**kwargs)
+
+    factory.__name__ = name
+    return factory
+
+
+STRATEGY_REGISTRY: Dict[str, Callable[..., Strategy]] = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "qfedavg": QFedAvg,
+    "scaffold": Scaffold,
+    "isp_transform": _core_factory("ISPTransformOnly"),
+    "isp_swad": _core_factory("ISPTransformWithSWAD"),
+    "heteroswitch": _core_factory("HeteroSwitch"),
+}
+
+
+def create_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by name (the names used in Table 4's rows)."""
+    try:
+        factory = STRATEGY_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown strategy '{name}'; available: {sorted(STRATEGY_REGISTRY)}") from exc
+    return factory(**kwargs)

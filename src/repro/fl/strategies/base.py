@@ -1,0 +1,96 @@
+"""Strategy interface shared by FedAvg, the prior-work baselines and HeteroSwitch.
+
+A *strategy* owns the two points where FL algorithms differ:
+
+* ``client_update`` — how a selected client trains on its local data given the
+  broadcast global weights, and
+* ``aggregate`` — how the server combines the returned client results into the
+  next global model.
+
+Per-round shared state (the EMA loss tracker, per-client persistent storage
+such as SCAFFOLD's control variates, the round index and RNG) travels in an
+:class:`FLContext` owned by the simulation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ...core.ema import EMALossTracker
+from ...data.partition import ClientSpec
+from ...nn.layers import Module
+from ...nn.serialization import average_states
+from ..config import FLConfig
+from ..training import ClientResult, local_train
+
+__all__ = ["FLContext", "Strategy", "FedAvg"]
+
+StateDict = Dict[str, np.ndarray]
+
+
+@dataclass
+class FLContext:
+    """Mutable state shared across rounds of one FL simulation."""
+
+    config: FLConfig
+    ema: EMALossTracker
+    rng: np.random.Generator
+    round_index: int = 0
+    client_storage: Dict[int, dict] = field(default_factory=dict)
+    server_storage: dict = field(default_factory=dict)
+
+    def storage_for(self, client_id: int) -> dict:
+        """Per-client persistent dictionary (created lazily)."""
+        return self.client_storage.setdefault(client_id, {})
+
+
+class Strategy:
+    """Base class: FedAvg behaviour with overridable client/server steps."""
+
+    name = "strategy"
+
+    def client_update(
+        self,
+        model: Module,
+        spec: ClientSpec,
+        global_state: StateDict,
+        context: FLContext,
+    ) -> ClientResult:
+        """Default ClientUpdate: plain local SGD (FedAvg's client behaviour)."""
+        config = context.config
+        seed = config.seed * 100_003 + context.round_index * 1_009 + spec.client_id
+        result = local_train(model, spec.dataset, config, global_state, seed=seed)
+        result.metadata["device"] = spec.device
+        return result
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        results: List[ClientResult],
+        context: FLContext,
+    ) -> StateDict:
+        """Default aggregation: sample-count weighted averaging (FedAvg)."""
+        del context
+        if not results:
+            raise ValueError("cannot aggregate an empty list of client results")
+        weights = [result.num_samples for result in results]
+        return average_states([result.state for result in results], weights)
+
+    def on_round_end(self, context: FLContext, results: List[ClientResult]) -> None:
+        """Hook after aggregation; default updates the EMA loss tracker (Eq. 1)."""
+        context.ema.update_from_clients(
+            [result.train_loss for result in results],
+            weights=[result.num_samples for result in results],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class FedAvg(Strategy):
+    """FedAvg (McMahan et al., 2017): the paper's baseline."""
+
+    name = "fedavg"

@@ -1,0 +1,66 @@
+"""q-FedAvg / q-FFL (Li et al., 2019): fairness-weighted aggregation.
+
+q-FedAvg reweights client updates by their loss raised to the power ``q`` so
+poorly-performing clients influence the global model more, shrinking the
+accuracy variance across clients.  The server update follows the q-FFL paper:
+
+    Delta_k = L * (w_global - w_k)              (rescaled local update)
+    h_k     = q * F_k^(q-1) * ||Delta_k||^2 + L * F_k^q
+    w_new   = w_global - sum_k F_k^q * Delta_k / sum_k h_k
+
+where ``F_k`` is client ``k``'s loss and ``L = 1 / lr`` estimates the local
+Lipschitz constant.  The paper's appendix selects ``q = 1e-6``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...nn.serialization import add_states, scale_state, state_norm, subtract_states, zeros_like_state
+from ..training import ClientResult
+from .base import FLContext, StateDict, Strategy
+
+__all__ = ["QFedAvg"]
+
+
+class QFedAvg(Strategy):
+    """q-FedAvg baseline strategy (client training identical to FedAvg)."""
+
+    name = "qfedavg"
+
+    def __init__(self, q: float = 1e-6) -> None:
+        if q < 0:
+            raise ValueError(f"q must be non-negative, got {q}")
+        self.q = q
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        results: List[ClientResult],
+        context: FLContext,
+    ) -> StateDict:
+        if not results:
+            raise ValueError("cannot aggregate an empty list of client results")
+        lipschitz = 1.0 / context.config.learning_rate
+
+        weighted_delta_sum = zeros_like_state(global_state)
+        h_sum = 0.0
+        for result in results:
+            delta = scale_state(subtract_states(global_state, result.state), lipschitz)
+            # Use the client's *initial* loss F_k (loss of the global model on the
+            # client's data), as in the q-FFL formulation.
+            loss = max(result.init_loss, 1e-10)
+            loss_pow_q = loss ** self.q
+            delta_norm_sq = state_norm(delta) ** 2
+            h_k = self.q * (loss ** (self.q - 1.0)) * delta_norm_sq + lipschitz * loss_pow_q
+            weighted_delta_sum = add_states(weighted_delta_sum, scale_state(delta, loss_pow_q))
+            h_sum += h_k
+        if h_sum <= 0:
+            raise RuntimeError("q-FedAvg aggregation produced a non-positive normalizer")
+        update = scale_state(weighted_delta_sum, 1.0 / h_sum)
+        return subtract_states(global_state, update)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"QFedAvg(q={self.q})"

@@ -1,0 +1,107 @@
+"""SCAFFOLD (Karimireddy et al., 2020): variance reduction with control variates.
+
+SCAFFOLD corrects client drift under non-IID data by maintaining a server
+control variate ``c`` and per-client control variates ``c_i``.  During local
+training every SGD step is corrected by ``(c - c_i)``; after training, the
+client control variate is refreshed using option II of the paper:
+
+    c_i_new = c_i - c + (w_global - w_local) / (K * lr)
+
+where ``K`` is the number of local steps taken.  The server averages the
+client deltas for both weights and control variates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...data.partition import ClientSpec
+from ...nn.layers import Module
+from ...nn.serialization import (
+    add_states,
+    average_states,
+    scale_state,
+    subtract_states,
+    zeros_like_state,
+)
+from ..training import ClientResult, local_train
+from .base import FLContext, StateDict, Strategy
+
+__all__ = ["Scaffold"]
+
+
+def _parameter_state(model: Module) -> StateDict:
+    """State dict restricted to trainable parameters (control variates skip buffers)."""
+    return {name: param.data.copy() for name, param in model.named_parameters()}
+
+
+class Scaffold(Strategy):
+    """SCAFFOLD baseline strategy."""
+
+    name = "scaffold"
+
+    def client_update(
+        self,
+        model: Module,
+        spec: ClientSpec,
+        global_state: StateDict,
+        context: FLContext,
+    ) -> ClientResult:
+        config = context.config
+        seed = config.seed * 100_003 + context.round_index * 1_009 + spec.client_id
+
+        from ...nn.serialization import set_weights
+
+        set_weights(model, global_state)
+        param_template = _parameter_state(model)
+
+        server_c: StateDict = context.server_storage.setdefault(
+            "scaffold_c", zeros_like_state(param_template)
+        )
+        storage = context.storage_for(spec.client_id)
+        client_c: StateDict = storage.setdefault("c_i", zeros_like_state(param_template))
+
+        correction = subtract_states(server_c, client_c)  # (c - c_i)
+        lr = config.learning_rate
+        named_params = dict(model.named_parameters())
+        steps = {"count": 0}
+
+        def batch_hook(hook_model: Module, batch_index: int, epoch_index: int) -> None:
+            del batch_index, epoch_index
+            # Apply the SCAFFOLD drift correction after the plain SGD step:
+            # w <- w - lr * (c - c_i).
+            for name, param in named_params.items():
+                param.data -= lr * correction[name]
+            steps["count"] += 1
+
+        result = local_train(model, spec.dataset, config, global_state,
+                             batch_hook=batch_hook, seed=seed)
+        result.metadata["device"] = spec.device
+
+        # Refresh the client control variate (option II).
+        num_steps = max(steps["count"], 1)
+        local_params = {name: param.data.copy() for name, param in named_params.items()}
+        global_params = {name: global_state[name] for name in param_template}
+        drift = scale_state(subtract_states(global_params, local_params), 1.0 / (num_steps * lr))
+        new_client_c = add_states(subtract_states(client_c, server_c), drift)
+        result.metadata["c_delta"] = subtract_states(new_client_c, client_c)
+        storage["c_i"] = new_client_c
+        return result
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        results: List[ClientResult],
+        context: FLContext,
+    ) -> StateDict:
+        new_state = super().aggregate(global_state, results, context)
+        # Update the server control variate with the average client delta, scaled
+        # by the participation fraction (|S| / N).
+        server_c: StateDict = context.server_storage["scaffold_c"]
+        c_deltas = [result.metadata["c_delta"] for result in results]
+        mean_delta = average_states(c_deltas)
+        fraction = len(results) / context.config.num_clients
+        context.server_storage["scaffold_c"] = add_states(server_c, scale_state(mean_delta, fraction))
+        return new_state

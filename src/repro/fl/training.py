@@ -1,0 +1,176 @@
+"""Local training and evaluation primitives shared by all FL strategies.
+
+``local_train`` implements the generic ClientUpdate loop (Section 2.1): given
+the broadcast global weights and a client's dataset, run ``E`` epochs of
+mini-batch SGD and report the updated weights together with the running
+training loss.  Strategy-specific behaviour (proximal terms, control variates,
+HeteroSwitch's switched transformations and SWAD averaging) hooks into this
+loop through small extension points rather than re-implementing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Module
+from ..nn.optim import SGD, Optimizer
+from ..nn.serialization import get_weights, set_weights
+from ..nn.tensor import Tensor, no_grad
+from ..data.dataset import ArrayDataset, DataLoader
+from .config import FLConfig
+from .metrics import accuracy, heart_rate_deviation, mean_average_precision
+
+__all__ = ["ClientResult", "compute_loss", "evaluate_loss", "evaluate_metric", "local_train"]
+
+StateDict = Dict[str, np.ndarray]
+BatchHook = Callable[[Module, int, int], None]
+
+
+@dataclass
+class ClientResult:
+    """What a client returns to the server after a round of local training."""
+
+    state: StateDict
+    num_samples: int
+    train_loss: float
+    init_loss: float
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def compute_loss(model: Module, features: np.ndarray, labels: np.ndarray, task: str) -> Tensor:
+    """Forward pass + task-appropriate loss on one batch."""
+    outputs = model(Tensor(features))
+    if task == "classification":
+        return F.cross_entropy(outputs, labels.astype(int))
+    if task == "multilabel":
+        return F.binary_cross_entropy_with_logits(outputs, labels)
+    if task == "regression":
+        return F.mse_loss(outputs, labels)
+    raise ValueError(f"unknown task '{task}'")
+
+
+def evaluate_loss(model: Module, dataset: ArrayDataset, task: str, batch_size: int = 64) -> float:
+    """Average loss of ``model`` over ``dataset`` without building gradients."""
+    model.eval()
+    total, count = 0.0, 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for features, labels in loader:
+            loss = compute_loss(model, features, labels, task)
+            total += float(loss.data) * len(features)
+            count += len(features)
+    model.train()
+    return total / max(count, 1)
+
+
+def evaluate_metric(model: Module, dataset: ArrayDataset, task: str, batch_size: int = 64) -> float:
+    """Task-appropriate quality metric (higher is better).
+
+    * classification — top-1 accuracy,
+    * multilabel     — macro averaged precision,
+    * regression     — ``1 - mean relative deviation`` so that, like accuracy,
+      larger values indicate a better model.
+    """
+    model.eval()
+    outputs_list, labels_list = [], []
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for features, labels in loader:
+            outputs = model(Tensor(features))
+            outputs_list.append(outputs.data)
+            labels_list.append(labels)
+    model.train()
+    outputs_all = np.concatenate(outputs_list, axis=0)
+    labels_all = np.concatenate(labels_list, axis=0)
+    if task == "classification":
+        return accuracy(outputs_all, labels_all)
+    if task == "multilabel":
+        scores = 1.0 / (1.0 + np.exp(-outputs_all))
+        return mean_average_precision(scores, labels_all)
+    if task == "regression":
+        return 1.0 - heart_rate_deviation(outputs_all, labels_all)
+    raise ValueError(f"unknown task '{task}'")
+
+
+def local_train(
+    model: Module,
+    dataset: ArrayDataset,
+    config: FLConfig,
+    global_state: StateDict,
+    optimizer: Optional[Optimizer] = None,
+    transform: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    batch_hook: Optional[BatchHook] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+) -> ClientResult:
+    """Run the generic ClientUpdate loop.
+
+    Parameters
+    ----------
+    model:
+        The (shared) model instance; its weights are overwritten with
+        ``global_state`` before training, so the caller can reuse one model
+        object across clients.
+    dataset:
+        The client's local dataset (features already in model layout).
+    config:
+        FL hyperparameters (epochs ``E``, batch size ``B``, learning rate).
+    global_state:
+        Weights broadcast by the server this round.
+    optimizer:
+        Optional pre-built optimizer (FedProx passes a :class:`ProximalSGD`);
+        defaults to plain SGD with the config's learning rate.
+    transform:
+        Optional data transformation applied to each batch's features before
+        the forward pass; receives ``(features, labels)`` and returns features.
+        HeteroSwitch's random WB / gamma transforms plug in here.
+    batch_hook:
+        Called after every optimizer step with ``(model, batch_index,
+        epoch_index)``; SCAFFOLD's control-variate correction and SWAD's
+        per-batch weight averaging plug in here.
+    rng:
+        Random generator used by the transform.
+
+    Returns
+    -------
+    ClientResult
+        Updated weights, sample count, running average train loss over all
+        batches (the paper's ``L_train``), and the pre-training loss on the
+        client's data (``L_init``).
+    """
+    set_weights(model, global_state)
+    init_loss = evaluate_loss(model, dataset, config.task, batch_size=max(config.batch_size, 32))
+
+    if optimizer is None:
+        optimizer = SGD(model.parameters(), lr=config.learning_rate,
+                        momentum=config.momentum, weight_decay=config.weight_decay)
+    rng = rng or np.random.default_rng(seed)
+
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, seed=seed)
+    model.train()
+    train_loss = 0.0
+    batch_index = 0
+    for epoch in range(config.local_epochs):
+        for features, labels in loader:
+            if transform is not None:
+                features = transform(features, labels)
+            loss = compute_loss(model, features, labels, config.task)
+            # Running average of the training loss (Algorithm 1, line 14).
+            train_loss = (train_loss * batch_index + float(loss.data)) / (batch_index + 1)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if batch_hook is not None:
+                batch_hook(model, batch_index, epoch)
+            batch_index += 1
+
+    return ClientResult(
+        state=get_weights(model),
+        num_samples=len(dataset),
+        train_loss=train_loss,
+        init_loss=init_loss,
+    )

@@ -1,0 +1,72 @@
+"""Software image-signal-processing (ISP) pipeline simulator.
+
+Implements the six-stage ISP of Fig. 1 / Table 3 of the paper — denoising,
+demosaicing, white balance, gamut mapping, tone transformation and JPEG-style
+compression — plus the random ISP transformations HeteroSwitch applies on the
+client (Eq. 2 and Eq. 3).
+"""
+
+from .compression import COMPRESSION_METHODS, compress, jpeg_compress
+from .demosaic import DEMOSAIC_METHODS, demosaic
+from .denoise import DENOISE_METHODS, denoise
+from .gamut import GAMUT_METHODS, gamut_map
+from .pipeline import (
+    BASELINE_CONFIG,
+    ISP_STAGES,
+    ISPConfig,
+    ISPPipeline,
+    OPTION1_CONFIG,
+    OPTION2_CONFIG,
+    stage_variants,
+)
+from .raw import BAYER_PATTERNS, RawImage, bayer_mosaic, raw_to_training_array
+from .tone import TONE_METHODS, apply_gamma, srgb_gamma, srgb_gamma_inverse, tone_transform
+from .transforms import (
+    Compose,
+    GaussianNoise,
+    RandomAffine,
+    RandomGamma,
+    RandomGaussianFilter1D,
+    RandomWhiteBalance,
+    Transform,
+    apply_white_balance_gains,
+)
+from .white_balance import WHITE_BALANCE_METHODS, white_balance
+
+__all__ = [
+    "RawImage",
+    "bayer_mosaic",
+    "raw_to_training_array",
+    "BAYER_PATTERNS",
+    "ISPConfig",
+    "ISPPipeline",
+    "BASELINE_CONFIG",
+    "OPTION1_CONFIG",
+    "OPTION2_CONFIG",
+    "ISP_STAGES",
+    "stage_variants",
+    "demosaic",
+    "DEMOSAIC_METHODS",
+    "denoise",
+    "DENOISE_METHODS",
+    "white_balance",
+    "WHITE_BALANCE_METHODS",
+    "gamut_map",
+    "GAMUT_METHODS",
+    "tone_transform",
+    "TONE_METHODS",
+    "srgb_gamma",
+    "srgb_gamma_inverse",
+    "apply_gamma",
+    "compress",
+    "jpeg_compress",
+    "COMPRESSION_METHODS",
+    "Transform",
+    "Compose",
+    "RandomWhiteBalance",
+    "RandomGamma",
+    "RandomAffine",
+    "GaussianNoise",
+    "RandomGaussianFilter1D",
+    "apply_white_balance_gains",
+]

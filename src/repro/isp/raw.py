@@ -1,0 +1,118 @@
+"""RAW image representation and Bayer colour-filter-array simulation.
+
+The paper's characterization separates hardware effects (lens + sensor,
+Section 3.3) from software effects (ISP algorithms, Section 3.4) by collecting
+both RAW sensor data and post-ISP images.  This module provides the RAW side:
+converting an idealized linear-RGB scene into the single-channel Bayer mosaic
+a real sensor records, which the rest of :mod:`repro.isp` then processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RawImage", "bayer_mosaic", "BAYER_PATTERNS", "raw_to_training_array"]
+
+# Offsets of (R, G1, G2, B) sites within the 2x2 Bayer tile for each pattern.
+BAYER_PATTERNS = {
+    "RGGB": {"R": (0, 0), "G1": (0, 1), "G2": (1, 0), "B": (1, 1)},
+    "BGGR": {"B": (0, 0), "G1": (0, 1), "G2": (1, 0), "R": (1, 1)},
+    "GRBG": {"G1": (0, 0), "R": (0, 1), "B": (1, 0), "G2": (1, 1)},
+    "GBRG": {"G1": (0, 0), "B": (0, 1), "R": (1, 0), "G2": (1, 1)},
+}
+
+
+@dataclass
+class RawImage:
+    """A single-channel Bayer mosaic plus the metadata needed to process it.
+
+    Attributes
+    ----------
+    mosaic:
+        2-D float array in [0, 1]; each pixel holds the response of one colour
+        site according to ``pattern``.
+    pattern:
+        Bayer pattern name (key of :data:`BAYER_PATTERNS`).
+    black_level:
+        Sensor black level already subtracted from the data (kept for record).
+    device:
+        Name of the device profile that produced the capture, if any.
+    """
+
+    mosaic: np.ndarray
+    pattern: str = "RGGB"
+    black_level: float = 0.0
+    device: str | None = None
+
+    def __post_init__(self) -> None:
+        self.mosaic = np.asarray(self.mosaic, dtype=np.float64)
+        if self.mosaic.ndim != 2:
+            raise ValueError(f"RAW mosaic must be 2-D, got shape {self.mosaic.shape}")
+        if self.mosaic.shape[0] % 2 or self.mosaic.shape[1] % 2:
+            raise ValueError("RAW mosaic dimensions must be even (full Bayer tiles)")
+        if self.pattern not in BAYER_PATTERNS:
+            raise ValueError(f"unknown Bayer pattern '{self.pattern}'")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.mosaic.shape
+
+    def channel_mask(self, channel: str) -> np.ndarray:
+        """Boolean mask of pixels belonging to ``channel`` ('R', 'G', or 'B')."""
+        h, w = self.mosaic.shape
+        mask = np.zeros((h, w), dtype=bool)
+        sites = BAYER_PATTERNS[self.pattern]
+        if channel == "G":
+            keys = ["G1", "G2"]
+        else:
+            keys = [channel]
+        for key in keys:
+            dy, dx = sites[key]
+            mask[dy::2, dx::2] = True
+        return mask
+
+
+def bayer_mosaic(rgb: np.ndarray, pattern: str = "RGGB") -> np.ndarray:
+    """Sample an HxWx3 linear-RGB image onto a Bayer mosaic.
+
+    Each output pixel keeps only the colour channel its CFA site is sensitive
+    to, exactly like a single-chip sensor behind a colour filter array.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected HxWx3 image, got {rgb.shape}")
+    if pattern not in BAYER_PATTERNS:
+        raise ValueError(f"unknown Bayer pattern '{pattern}'")
+    h, w, _ = rgb.shape
+    if h % 2 or w % 2:
+        raise ValueError("image dimensions must be even for Bayer sampling")
+    mosaic = np.zeros((h, w), dtype=np.float64)
+    sites = BAYER_PATTERNS[pattern]
+    channel_index = {"R": 0, "G1": 1, "G2": 1, "B": 2}
+    for key, (dy, dx) in sites.items():
+        mosaic[dy::2, dx::2] = rgb[dy::2, dx::2, channel_index[key]]
+    return mosaic
+
+
+def raw_to_training_array(raw: RawImage) -> np.ndarray:
+    """Convert a RAW mosaic to a 3-channel array for direct model training.
+
+    The paper's Section 3.3 trains models on RAW data *without* any ISP.  To
+    feed a 3-channel network we de-interleave the Bayer tiles into half-
+    resolution R / G / B planes (averaging the two green sites) and stack them,
+    which preserves the un-processed sensor response while matching the model's
+    input layout.
+    """
+    h, w = raw.mosaic.shape
+    sites = BAYER_PATTERNS[raw.pattern]
+
+    def plane(key: str) -> np.ndarray:
+        dy, dx = sites[key]
+        return raw.mosaic[dy::2, dx::2]
+
+    red = plane("R")
+    green = 0.5 * (plane("G1") + plane("G2"))
+    blue = plane("B")
+    return np.stack([red, green, blue], axis=-1)

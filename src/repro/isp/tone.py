@@ -1,0 +1,82 @@
+"""Tone transformation stage (Table 3, "Tone transformation").
+
+Baseline applies the standard sRGB gamma (the piecewise linear/exponential
+encoding of IEC 61966-2-1).  Option 1 omits the stage (leaving linear data).
+Option 2 applies the sRGB gamma followed by histogram (tone) equalization.
+Section 3.4 identifies tone transformation as the second most influential ISP
+stage (49.2% degradation when omitted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "tone_transform",
+    "TONE_METHODS",
+    "srgb_gamma",
+    "srgb_gamma_inverse",
+    "tone_equalize",
+    "tone_none",
+    "apply_gamma",
+]
+
+
+def srgb_gamma(image: np.ndarray) -> np.ndarray:
+    """Encode linear RGB with the sRGB transfer curve."""
+    image = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+    low = image * 12.92
+    high = 1.055 * np.power(image, 1.0 / 2.4) - 0.055
+    return np.where(image <= 0.0031308, low, high)
+
+
+def srgb_gamma_inverse(image: np.ndarray) -> np.ndarray:
+    """Decode an sRGB-encoded image back to linear RGB."""
+    image = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+    low = image / 12.92
+    high = np.power((image + 0.055) / 1.055, 2.4)
+    return np.where(image <= 0.04045, low, high)
+
+
+def apply_gamma(image: np.ndarray, gamma: float) -> np.ndarray:
+    """Raise the image to the power ``gamma`` (Eq. 3's random-gamma primitive)."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    image = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+    return np.power(image, gamma)
+
+
+def tone_equalize(image: np.ndarray, bins: int = 64) -> np.ndarray:
+    """sRGB gamma followed by luminance histogram equalization (Option 2)."""
+    encoded = srgb_gamma(image)
+    luminance = encoded.mean(axis=-1)
+    hist, bin_edges = np.histogram(luminance, bins=bins, range=(0.0, 1.0))
+    cdf = np.cumsum(hist).astype(np.float64)
+    if cdf[-1] <= 0:
+        return encoded
+    cdf /= cdf[-1]
+    equalized_lum = np.interp(luminance, bin_edges[:-1], cdf)
+    # Scale each pixel's channels by the luminance remapping ratio.
+    ratio = equalized_lum / np.maximum(luminance, 1e-6)
+    return np.clip(encoded * ratio[..., None], 0.0, 1.0)
+
+
+def tone_none(image: np.ndarray) -> np.ndarray:
+    """Pass-through used when tone transformation is omitted (image stays linear)."""
+    return np.asarray(image, dtype=np.float64)
+
+
+TONE_METHODS = {
+    "srgb_gamma": srgb_gamma,
+    "none": tone_none,
+    "srgb_gamma_equalize": tone_equalize,
+}
+
+
+def tone_transform(image: np.ndarray, method: str = "srgb_gamma") -> np.ndarray:
+    """Tone-transform with the named method (see :data:`TONE_METHODS`)."""
+    try:
+        fn = TONE_METHODS[method]
+    except KeyError as exc:
+        raise ValueError(f"unknown tone method '{method}'; options: {sorted(TONE_METHODS)}") from exc
+    return fn(image)

@@ -1,0 +1,181 @@
+"""Data transformations used for dataset diversification and robustness tests.
+
+This module implements the client-side random ISP transformations at the heart
+of HeteroSwitch (Section 5.2):
+
+* :class:`RandomWhiteBalance` — Eq. 2: per-channel gains drawn from
+  ``U(1 - degree, 1 + degree)``.
+* :class:`RandomGamma` — Eq. 3: exponent drawn from ``U(1 - degree, 1 + degree)``.
+
+plus the additional transformations Fig. 7 evaluates robustness against
+(affine warps and Gaussian noise) and the random Gaussian filter HeteroSwitch
+uses for the 1-D ECG experiment (Section 6.6).
+
+All image transforms operate on ``(..., H, W, C)`` float arrays in [0, 1] and
+are also usable on batches shaped ``(N, H, W, C)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "Transform",
+    "Compose",
+    "RandomWhiteBalance",
+    "RandomGamma",
+    "RandomAffine",
+    "GaussianNoise",
+    "RandomGaussianFilter1D",
+    "apply_white_balance_gains",
+    "apply_gamma",
+]
+
+
+def apply_white_balance_gains(images: np.ndarray, gains: Sequence[float]) -> np.ndarray:
+    """Apply the diagonal per-channel gain matrix of Eq. 2."""
+    images = np.asarray(images, dtype=np.float64)
+    gains_arr = np.asarray(gains, dtype=np.float64)
+    if gains_arr.shape[-1] != images.shape[-1]:
+        raise ValueError("number of gains must match the channel dimension")
+    return np.clip(images * gains_arr, 0.0, 1.0)
+
+
+def apply_gamma(images: np.ndarray, gamma: float) -> np.ndarray:
+    """Apply the power-law transformation of Eq. 3."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    images = np.clip(np.asarray(images, dtype=np.float64), 0.0, 1.0)
+    return np.power(images, gamma)
+
+
+class Transform:
+    """Base class: a callable mapping a batch of samples to a transformed batch."""
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({vars(self)})"
+
+
+class Compose(Transform):
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+class RandomWhiteBalance(Transform):
+    """Eq. 2: random per-channel gains ``r ~ U(1 - degree, 1 + degree)``.
+
+    A fresh gain triple is drawn per call (i.e. per batch), matching the
+    "random transformation on D" step of Algorithm 1.
+    """
+
+    def __init__(self, degree: float = 0.5, per_sample: bool = False) -> None:
+        if not 0.0 <= degree < 1.0:
+            raise ValueError(f"degree must be in [0, 1), got {degree}")
+        self.degree = degree
+        self.per_sample = per_sample
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        channels = images.shape[-1]
+        if self.per_sample and images.ndim == 4:
+            gains = rng.uniform(1.0 - self.degree, 1.0 + self.degree,
+                                size=(images.shape[0], 1, 1, channels))
+            return np.clip(images * gains, 0.0, 1.0)
+        gains = rng.uniform(1.0 - self.degree, 1.0 + self.degree, size=channels)
+        return apply_white_balance_gains(images, gains)
+
+
+class RandomGamma(Transform):
+    """Eq. 3: random power-law tone change ``gamma ~ U(1 - degree, 1 + degree)``."""
+
+    def __init__(self, degree: float = 0.5, per_sample: bool = False) -> None:
+        if not 0.0 <= degree < 1.0:
+            raise ValueError(f"degree must be in [0, 1), got {degree}")
+        self.degree = degree
+        self.per_sample = per_sample
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        images = np.clip(np.asarray(images, dtype=np.float64), 0.0, 1.0)
+        if self.per_sample and images.ndim == 4:
+            gammas = rng.uniform(1.0 - self.degree, 1.0 + self.degree,
+                                 size=(images.shape[0], 1, 1, 1))
+            return np.power(images, gammas)
+        gamma = float(rng.uniform(1.0 - self.degree, 1.0 + self.degree))
+        return apply_gamma(images, gamma)
+
+
+class RandomAffine(Transform):
+    """Small random rotation + translation, the geometric transform of Fig. 7."""
+
+    def __init__(self, degree: float = 0.3, max_rotation_deg: float = 30.0,
+                 max_translation: float = 0.2) -> None:
+        if not 0.0 <= degree <= 1.0:
+            raise ValueError(f"degree must be in [0, 1], got {degree}")
+        self.degree = degree
+        self.max_rotation_deg = max_rotation_deg
+        self.max_translation = max_translation
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        single = images.ndim == 3
+        batch = images[None] if single else images
+        angle = float(rng.uniform(-1.0, 1.0)) * self.max_rotation_deg * self.degree
+        height, width = batch.shape[1:3]
+        shift_y = float(rng.uniform(-1.0, 1.0)) * self.max_translation * self.degree * height
+        shift_x = float(rng.uniform(-1.0, 1.0)) * self.max_translation * self.degree * width
+        out = np.empty_like(batch)
+        for i in range(batch.shape[0]):
+            rotated = ndimage.rotate(batch[i], angle, axes=(0, 1), reshape=False,
+                                     order=1, mode="nearest")
+            out[i] = ndimage.shift(rotated, (shift_y, shift_x, 0), order=1, mode="nearest")
+        out = np.clip(out, 0.0, 1.0)
+        return out[0] if single else out
+
+
+class GaussianNoise(Transform):
+    """Additive Gaussian pixel noise, the appearance perturbation of Fig. 7."""
+
+    def __init__(self, degree: float = 0.3, max_sigma: float = 0.1) -> None:
+        if degree < 0:
+            raise ValueError(f"degree must be non-negative, got {degree}")
+        self.degree = degree
+        self.max_sigma = max_sigma
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        sigma = self.max_sigma * self.degree
+        noise = rng.normal(0.0, sigma, size=images.shape)
+        return np.clip(images + noise, 0.0, 1.0)
+
+
+class RandomGaussianFilter1D(Transform):
+    """Random-width Gaussian smoothing for 1-D signals (ECG experiment).
+
+    HeteroSwitch's generalization transform for the ECG dataset is a random
+    Gaussian filter (Section 6.6): smoothing with a randomly drawn bandwidth
+    diversifies the sensor-specific noise signatures of the training signal.
+    """
+
+    def __init__(self, min_sigma: float = 0.5, max_sigma: float = 2.5) -> None:
+        if min_sigma <= 0 or max_sigma < min_sigma:
+            raise ValueError("require 0 < min_sigma <= max_sigma")
+        self.min_sigma = min_sigma
+        self.max_sigma = max_sigma
+
+    def __call__(self, signals: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        signals = np.asarray(signals, dtype=np.float64)
+        sigma = float(rng.uniform(self.min_sigma, self.max_sigma))
+        return ndimage.gaussian_filter1d(signals, sigma=sigma, axis=-1, mode="nearest")

@@ -1,0 +1,82 @@
+"""NumPy neural-network substrate for the HeteroSwitch reproduction.
+
+The original system is implemented in PyTorch; this package provides the
+minimal-yet-complete replacement used here: an autograd :class:`Tensor`,
+functional ops, layer modules, optimizers, model serialization helpers and
+the model zoo.
+"""
+
+from . import functional
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    HardSwish,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    ReLU6,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Optimizer, ProximalSGD
+from .serialization import (
+    add_states,
+    average_states,
+    get_weights,
+    scale_state,
+    set_weights,
+    state_dict_to_vector,
+    state_norm,
+    subtract_states,
+    vector_to_state_dict,
+    zeros_like_state,
+)
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "HardSwish",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Optimizer",
+    "SGD",
+    "ProximalSGD",
+    "get_weights",
+    "set_weights",
+    "state_dict_to_vector",
+    "vector_to_state_dict",
+    "zeros_like_state",
+    "add_states",
+    "subtract_states",
+    "scale_state",
+    "average_states",
+    "state_norm",
+]

@@ -1,0 +1,384 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+Convolutions use an im2col lowering so the inner computation is a single large
+matrix multiplication (vectorized in BLAS) rather than Python loops, following
+the vectorization guidance for NumPy ML-systems code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "relu",
+    "relu6",
+    "hardswish",
+    "hardsigmoid",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "l1_loss",
+    "dropout",
+    "flatten",
+    "channel_shuffle",
+    "pad2d",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im helpers
+# --------------------------------------------------------------------------- #
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute gather indices for im2col on an NCHW input."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], int, int]:
+    ph, pw = padding
+    if ph or pw:
+        x_padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    else:
+        x_padded = x
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kernel, stride, padding)
+    cols = x_padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    return cols, (k, i, j), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    indices: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    ph, pw = padding
+    k, i, j = indices
+    x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    np.add.at(x_padded, (slice(None), k, i, j), cols)
+    if ph or pw:
+        return x_padded[:, :, ph : ph + h, pw : pw + w]
+    return x_padded
+
+
+# --------------------------------------------------------------------------- #
+# Linear / convolution
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` for 2-D inputs."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution on NCHW tensors.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if ic != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {ic}")
+
+    cols, indices, out_h, out_w = _im2col(x.data, (kh, kw), stride, padding)
+    w_flat = weight.data.reshape(oc, -1)  # (oc, C*kh*kw)
+    out_data = np.einsum("of,nfp->nop", w_flat, cols, optimize=True)
+    out_data = out_data.reshape(n, oc, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_flat = grad.reshape(n, oc, out_h * out_w)
+        # dL/dW
+        grad_w = np.einsum("nop,nfp->of", grad_flat, cols, optimize=True)
+        out._send(weight, grad_w.reshape(weight.shape))
+        # dL/dx
+        grad_cols = np.einsum("of,nop->nfp", w_flat, grad_flat, optimize=True)
+        grad_x = _col2im(grad_cols, x.shape, indices, padding)
+        out._send(x, grad_x)
+        if bias is not None:
+            out._send(bias, grad.sum(axis=(0, 2, 3)))
+
+    out = Tensor._make(out_data, parents, lambda g: backward(g, out))
+    return out
+
+
+def depthwise_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Depthwise 2-D convolution: each input channel is filtered independently.
+
+    ``weight`` has shape ``(channels, 1, kh, kw)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    wc, one, kh, kw = weight.shape
+    if wc != c or one != 1:
+        raise ValueError("depthwise_conv2d expects weight of shape (C, 1, kh, kw)")
+
+    cols, indices, out_h, out_w = _im2col(x.data, (kh, kw), stride, padding)
+    # cols: (N, C*kh*kw, P) -> (N, C, kh*kw, P)
+    cols_grouped = cols.reshape(n, c, kh * kw, out_h * out_w)
+    w_flat = weight.data.reshape(c, kh * kw)
+    out_data = np.einsum("ck,nckp->ncp", w_flat, cols_grouped, optimize=True)
+    out_data = out_data.reshape(n, c, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_flat = grad.reshape(n, c, out_h * out_w)
+        grad_w = np.einsum("ncp,nckp->ck", grad_flat, cols_grouped, optimize=True)
+        out._send(weight, grad_w.reshape(weight.shape))
+        grad_cols = np.einsum("ck,ncp->nckp", w_flat, grad_flat, optimize=True)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = _col2im(grad_cols, x.shape, indices, padding)
+        out._send(x, grad_x)
+        if bias is not None:
+            out._send(bias, grad.sum(axis=(0, 2, 3)))
+
+    out = Tensor._make(out_data, parents, lambda g: backward(g, out))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling on NCHW tensors (non-overlapping windows by default)."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    cols, indices, _, _ = _im2col(x.data, (kh, kw), (sh, sw), (0, 0))
+    cols_grouped = cols.reshape(n, c, kh * kw, out_h * out_w)
+    argmax = cols_grouped.argmax(axis=2)  # (N, C, P)
+    out_data = np.take_along_axis(cols_grouped, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_flat = grad.reshape(n, c, out_h * out_w)
+        grad_cols = np.zeros_like(cols_grouped)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], grad_flat[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = _col2im(grad_cols, x.shape, indices, (0, 0))
+        out._send(x, grad_x)
+
+    out = Tensor._make(out_data, (x,), lambda g: backward(g, out))
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling on NCHW tensors."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    cols, indices, _, _ = _im2col(x.data, (kh, kw), (sh, sw), (0, 0))
+    cols_grouped = cols.reshape(n, c, kh * kw, out_h * out_w)
+    out_data = cols_grouped.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_flat = grad.reshape(n, c, 1, out_h * out_w) / (kh * kw)
+        grad_cols = np.broadcast_to(grad_flat, cols_grouped.shape).copy()
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = _col2im(grad_cols, x.shape, indices, (0, 0))
+        out._send(x, grad_x)
+
+    out = Tensor._make(out_data, (x,), lambda g: backward(g, out))
+    return out
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions, returning an ``(N, C)`` tensor."""
+    return x.mean(axis=(2, 3))
+
+
+def pad2d(x: Tensor, padding: IntPair) -> Tensor:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    ph, pw = _pair(padding)
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        out._send(x, grad[:, :, ph : ph + x.shape[2], pw : pw + x.shape[3]])
+
+    out = Tensor._make(out_data, (x,), lambda g: backward(g, out))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def relu6(x: Tensor) -> Tensor:
+    return x.clip(0.0, 6.0)
+
+
+def hardsigmoid(x: Tensor) -> Tensor:
+    """Piecewise-linear sigmoid used by MobileNetV3: ``relu6(x + 3) / 6``."""
+    return relu6(x + 3.0) * (1.0 / 6.0)
+
+
+def hardswish(x: Tensor) -> Tensor:
+    """MobileNetV3 hard-swish: ``x * relu6(x + 3) / 6``."""
+    return x * hardsigmoid(x)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return shifted - exp.sum(axis=axis, keepdims=True).log()
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Flatten all dimensions but the first."""
+    n = x.shape[0]
+    return x.reshape(n, int(np.prod(x.shape[1:])))
+
+
+def channel_shuffle(x: Tensor, groups: int) -> Tensor:
+    """ShuffleNet channel shuffle for NCHW tensors."""
+    n, c, h, w = x.shape
+    if c % groups != 0:
+        raise ValueError(f"channels {c} not divisible by groups {groups}")
+    return x.reshape(n, groups, c // groups, h, w).transpose(0, 2, 1, 3, 4).reshape(n, c, h, w)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout.  No-op when not training or when ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------------- #
+# Losses
+# --------------------------------------------------------------------------- #
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    targets = np.asarray(targets)
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean multi-label BCE loss computed stably from logits.
+
+    Uses the standard ``max(x, 0) - x*t + log(1 + exp(-|x|))`` formulation.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    zeros = Tensor(np.zeros_like(logits.data))
+    max_part = Tensor(np.maximum(logits.data, 0.0))
+    abs_part = Tensor(np.abs(logits.data))
+    # The pieces built directly from logits.data are constants w.r.t. the graph,
+    # so re-express them through differentiable ops for correct gradients:
+    # max(x, 0) = relu(x); |x| = relu(x) + relu(-x)
+    del zeros, max_part, abs_part
+    relu_pos = logits.relu()
+    relu_neg = (-logits).relu()
+    softplus = ((-(relu_pos + relu_neg)).exp() + 1.0).log()
+    loss = relu_pos - logits * targets_t + softplus
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    diff = pred - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean absolute error (implemented via sqrt of squared error per element)."""
+    diff = pred - Tensor(np.asarray(targets, dtype=np.float64))
+    return ((diff * diff) + 1e-12).sqrt().mean()

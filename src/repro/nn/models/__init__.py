@@ -1,0 +1,31 @@
+"""Model zoo for the HeteroSwitch reproduction.
+
+The paper evaluates with MobileNetV3-small, ShuffleNetV2-x0.5 and
+SqueezeNet1.1 (Section 6.3), a "simple CNN" for the synthetic CIFAR-100
+experiment (Section 6.5), a "simple DNN" heart-rate regressor for the ECG
+experiment (Section 6.6) and a multi-label classifier for FLAIR
+(Section 6.4).  This package provides NumPy analogues of each, scaled to the
+32x32 inputs and CPU-only substrate used in this reproduction: the
+architectural signatures (depthwise-separable inverted residuals, channel
+shuffle units, fire modules) are preserved while channel counts are reduced so
+that the full benchmark suite finishes on a laptop-class CPU.
+"""
+
+from .mobilenet import MobileNetV3Small
+from .shufflenet import ShuffleNetV2
+from .squeezenet import SqueezeNet
+from .simple import SimpleCNN, SimpleMLP, ECGRegressor, MultiLabelCNN, LinearClassifier
+from .registry import MODEL_REGISTRY, create_model
+
+__all__ = [
+    "MobileNetV3Small",
+    "ShuffleNetV2",
+    "SqueezeNet",
+    "SimpleCNN",
+    "SimpleMLP",
+    "ECGRegressor",
+    "MultiLabelCNN",
+    "LinearClassifier",
+    "MODEL_REGISTRY",
+    "create_model",
+]

@@ -1,0 +1,165 @@
+"""Reusable building blocks shared by the mobile-friendly model analogues."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    Module,
+)
+from ..tensor import Tensor
+
+__all__ = ["ConvBNAct", "SqueezeExcite", "InvertedResidual", "FireModule", "ShuffleUnit"]
+
+
+class ConvBNAct(Module):
+    """Convolution + batch norm + activation, the standard mobile-CNN stem block."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        padding = kernel_size // 2
+        self.conv = Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                           padding=padding, bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn(self.conv(x))
+        if self.activation == "relu":
+            return F.relu(out)
+        if self.activation == "hardswish":
+            return F.hardswish(out)
+        if self.activation == "none":
+            return out
+        raise ValueError(f"unknown activation '{self.activation}'")
+
+
+class SqueezeExcite(Module):
+    """Squeeze-and-excitation channel attention (MobileNetV3 style)."""
+
+    def __init__(self, channels: int, reduction: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        hidden = max(1, channels // reduction)
+        self.fc1 = Linear(channels, hidden, rng=rng)
+        self.fc2 = Linear(hidden, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, _, _ = x.shape
+        squeezed = F.global_avg_pool2d(x)  # (N, C)
+        scale = F.relu(self.fc1(squeezed))
+        scale = F.hardsigmoid(self.fc2(scale))
+        return x * scale.reshape(n, c, 1, 1)
+
+
+class InvertedResidual(Module):
+    """MobileNetV3 inverted residual: expand -> depthwise -> (SE) -> project."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        expand_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        use_se: bool = True,
+        activation: str = "hardswish",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand = ConvBNAct(in_channels, expand_channels, kernel_size=1,
+                                activation=activation, rng=rng)
+        padding = kernel_size // 2
+        self.depthwise = DepthwiseConv2d(expand_channels, kernel_size, stride=stride,
+                                         padding=padding, bias=False, rng=rng)
+        self.depthwise_bn = BatchNorm2d(expand_channels)
+        self.se = SqueezeExcite(expand_channels, rng=rng) if use_se else None
+        self.project = ConvBNAct(expand_channels, out_channels, kernel_size=1,
+                                 activation="none", rng=rng)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.expand(x)
+        out = self.depthwise_bn(self.depthwise(out))
+        out = F.hardswish(out) if self.activation == "hardswish" else F.relu(out)
+        if self.se is not None:
+            out = self.se(out)
+        out = self.project(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class FireModule(Module):
+    """SqueezeNet fire module: squeeze 1x1 then expand with parallel 1x1 and 3x3."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        squeeze_channels: int,
+        expand_channels: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.squeeze = Conv2d(in_channels, squeeze_channels, 1, rng=rng)
+        self.expand1 = Conv2d(squeeze_channels, expand_channels, 1, rng=rng)
+        self.expand3 = Conv2d(squeeze_channels, expand_channels, 3, padding=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        from ..tensor import concatenate
+
+        squeezed = F.relu(self.squeeze(x))
+        branch1 = F.relu(self.expand1(squeezed))
+        branch3 = F.relu(self.expand3(squeezed))
+        return concatenate([branch1, branch3], axis=1)
+
+
+class ShuffleUnit(Module):
+    """Simplified ShuffleNetV2 unit: pointwise -> depthwise -> pointwise + shuffle.
+
+    The full ShuffleNetV2 splits channels into two branches; at the tiny channel
+    counts used here we keep a single branch with a residual connection when the
+    spatial size is preserved, followed by a channel shuffle, which retains the
+    unit's characteristic structure (grouped pointwise + depthwise + shuffle).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        groups: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.stride = stride
+        self.groups = groups
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.pw1 = ConvBNAct(in_channels, out_channels, kernel_size=1, rng=rng)
+        self.dw = DepthwiseConv2d(out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.dw_bn = BatchNorm2d(out_channels)
+        self.pw2 = ConvBNAct(out_channels, out_channels, kernel_size=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.pw1(x)
+        out = self.dw_bn(self.dw(out))
+        out = self.pw2(out)
+        if self.use_residual:
+            out = out + x
+        return F.channel_shuffle(out, self.groups)

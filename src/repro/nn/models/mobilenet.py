@@ -1,0 +1,79 @@
+"""MobileNetV3-small analogue used as the primary model in the evaluation.
+
+The paper uses MobileNetV3-small (Howard et al., 2019).  This analogue keeps
+the defining architectural features — a hard-swish stem, a stack of inverted
+residual blocks with depthwise convolutions and squeeze-excitation, and a
+global-average-pooled classifier head — while scaling channel counts to the
+32x32 synthetic-device images used throughout this reproduction so the FL
+simulations run in CPU time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import Linear, Module
+from ..tensor import Tensor
+from .blocks import ConvBNAct, InvertedResidual
+
+__all__ = ["MobileNetV3Small"]
+
+
+class MobileNetV3Small(Module):
+    """Tiny MobileNetV3-small analogue for NCHW 3-channel inputs.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes.
+    width_mult:
+        Multiplier applied to all channel counts (>= 0.25).
+    in_channels:
+        Number of input channels (3 for RGB).
+    seed:
+        Seed for weight initialization, so that every FL client/server starts
+        from identical weights when given the same seed.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 12,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if width_mult < 0.25:
+            raise ValueError("width_mult must be >= 0.25")
+        rng = np.random.default_rng(seed)
+
+        def c(channels: int) -> int:
+            return max(4, int(round(channels * width_mult)))
+
+        self.num_classes = num_classes
+        self.stem = ConvBNAct(in_channels, c(8), kernel_size=3, stride=2,
+                              activation="hardswish", rng=rng)
+        self.block1 = InvertedResidual(c(8), c(16), c(8), kernel_size=3, stride=1,
+                                       use_se=True, activation="relu", rng=rng)
+        self.block2 = InvertedResidual(c(8), c(24), c(12), kernel_size=3, stride=2,
+                                       use_se=False, activation="relu", rng=rng)
+        self.block3 = InvertedResidual(c(12), c(36), c(12), kernel_size=3, stride=1,
+                                       use_se=True, activation="hardswish", rng=rng)
+        self.block4 = InvertedResidual(c(12), c(48), c(16), kernel_size=3, stride=2,
+                                       use_se=True, activation="hardswish", rng=rng)
+        self.head_conv = ConvBNAct(c(16), c(32), kernel_size=1,
+                                   activation="hardswish", rng=rng)
+        self.classifier = Linear(c(32), num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.block1(out)
+        out = self.block2(out)
+        out = self.block3(out)
+        out = self.block4(out)
+        out = self.head_conv(out)
+        out = F.global_avg_pool2d(out)
+        return self.classifier(out)

@@ -1,0 +1,41 @@
+"""Model registry mapping the names used in the paper's tables to constructors."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..layers import Module
+from .mobilenet import MobileNetV3Small
+from .shufflenet import ShuffleNetV2
+from .simple import ECGRegressor, LinearClassifier, MultiLabelCNN, SimpleCNN, SimpleMLP
+from .squeezenet import SqueezeNet
+
+__all__ = ["MODEL_REGISTRY", "create_model"]
+
+MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "mobilenetv3_small": MobileNetV3Small,
+    "shufflenet_v2_x0_5": ShuffleNetV2,
+    "squeezenet1_1": SqueezeNet,
+    "simple_cnn": SimpleCNN,
+    "simple_mlp": SimpleMLP,
+    "linear": LinearClassifier,
+    "ecg_regressor": ECGRegressor,
+    "multilabel_cnn": MultiLabelCNN,
+}
+
+
+def create_model(name: str, **kwargs) -> Module:
+    """Instantiate a model by registry name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered; the error lists the available names.
+    """
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model '{name}'; available: {sorted(MODEL_REGISTRY)}"
+        ) from exc
+    return factory(**kwargs)

@@ -1,0 +1,53 @@
+"""ShuffleNetV2-x0.5 analogue (Section 6.3 / Table 5 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import Linear, Module
+from ..tensor import Tensor
+from .blocks import ConvBNAct, ShuffleUnit
+
+__all__ = ["ShuffleNetV2"]
+
+
+class ShuffleNetV2(Module):
+    """Tiny ShuffleNetV2 analogue with channel-shuffle units.
+
+    Keeps the ShuffleNet signature (pointwise/depthwise factorization with a
+    channel shuffle after every unit) at channel counts suitable for 32x32
+    inputs on a CPU NumPy substrate.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 12,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+
+        def c(channels: int) -> int:
+            value = max(4, int(round(channels * width_mult)))
+            # Keep channels even so they remain divisible by the shuffle groups.
+            return value + (value % 2)
+
+        self.num_classes = num_classes
+        self.stem = ConvBNAct(in_channels, c(8), kernel_size=3, stride=2, rng=rng)
+        self.stage1 = ShuffleUnit(c(8), c(16), stride=2, rng=rng)
+        self.stage2 = ShuffleUnit(c(16), c(16), stride=1, rng=rng)
+        self.stage3 = ShuffleUnit(c(16), c(32), stride=2, rng=rng)
+        self.stage4 = ShuffleUnit(c(32), c(32), stride=1, rng=rng)
+        self.classifier = Linear(c(32), num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.stage4(out)
+        out = F.global_avg_pool2d(out)
+        return self.classifier(out)

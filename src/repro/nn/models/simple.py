@@ -1,0 +1,119 @@
+"""Small auxiliary models used by individual experiments.
+
+* :class:`SimpleCNN` — the "simple CNN" used for the synthetic CIFAR-100
+  experiment (Section 6.5, Fig. 8).
+* :class:`ECGRegressor` — the "simple DNN" heart-rate regressor for the ECG
+  experiment (Section 6.6).
+* :class:`MultiLabelCNN` — multi-label classifier head used for the FLAIR-like
+  experiment (Section 6.4, Table 6).
+* :class:`SimpleMLP` / :class:`LinearClassifier` — tiny models used in unit
+  tests and for fast smoke-scale FL runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import BatchNorm1d, Conv2d, Linear, MaxPool2d, Module
+from ..tensor import Tensor
+
+__all__ = ["SimpleCNN", "SimpleMLP", "ECGRegressor", "MultiLabelCNN", "LinearClassifier"]
+
+
+class SimpleCNN(Module):
+    """Two-conv-block CNN for small RGB images (the Fig. 8 synthetic-CIFAR model)."""
+
+    def __init__(self, num_classes: int = 20, in_channels: int = 3,
+                 image_size: int = 16, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, 8, 3, padding=1, rng=rng)
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(8, 16, 3, padding=1, rng=rng)
+        self.pool2 = MaxPool2d(2)
+        reduced = image_size // 4
+        self.fc1 = Linear(16 * reduced * reduced, 32, rng=rng)
+        self.fc2 = Linear(32, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.pool1(F.relu(self.conv1(x)))
+        out = self.pool2(F.relu(self.conv2(out)))
+        out = F.flatten(out)
+        out = F.relu(self.fc1(out))
+        return self.fc2(out)
+
+
+class SimpleMLP(Module):
+    """Flatten + two-layer MLP classifier for quick tests and smoke runs."""
+
+    def __init__(self, input_dim: int, num_classes: int, hidden: int = 32, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(input_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+        self.num_classes = num_classes
+        self.input_dim = input_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = F.flatten(x)
+        return self.fc2(F.relu(self.fc1(x)))
+
+
+class LinearClassifier(Module):
+    """Single linear layer — the fastest possible model for property tests."""
+
+    def __init__(self, input_dim: int, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc = Linear(input_dim, num_classes, rng=rng)
+        self.num_classes = num_classes
+        self.input_dim = input_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = F.flatten(x)
+        return self.fc(x)
+
+
+class ECGRegressor(Module):
+    """MLP that regresses a heart rate (beats per minute) from an ECG window."""
+
+    def __init__(self, window_size: int = 128, hidden: int = 64, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.window_size = window_size
+        self.fc1 = Linear(window_size, hidden, rng=rng)
+        self.bn1 = BatchNorm1d(hidden)
+        self.fc2 = Linear(hidden, hidden // 2, rng=rng)
+        self.fc3 = Linear(hidden // 2, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.fc1(x)))
+        out = F.relu(self.fc2(out))
+        return self.fc3(out)
+
+
+class MultiLabelCNN(Module):
+    """Small CNN with a sigmoid multi-label head for the FLAIR-like experiment."""
+
+    def __init__(self, num_labels: int = 8, in_channels: int = 3,
+                 image_size: int = 16, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, 8, 3, padding=1, rng=rng)
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(8, 16, 3, padding=1, rng=rng)
+        self.pool2 = MaxPool2d(2)
+        reduced = image_size // 4
+        self.fc = Linear(16 * reduced * reduced, num_labels, rng=rng)
+        self.num_labels = num_labels
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return raw logits; apply a sigmoid externally to obtain probabilities."""
+        out = self.pool1(F.relu(self.conv1(x)))
+        out = self.pool2(F.relu(self.conv2(out)))
+        out = F.flatten(out)
+        return self.fc(out)

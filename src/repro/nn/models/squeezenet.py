@@ -1,0 +1,56 @@
+"""SqueezeNet1.1 analogue (Section 6.3 / Table 5 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import Conv2d, MaxPool2d, Module
+from ..tensor import Tensor
+from .blocks import FireModule
+
+__all__ = ["SqueezeNet"]
+
+
+class SqueezeNet(Module):
+    """Tiny SqueezeNet analogue built from fire modules.
+
+    The original SqueezeNet has no batch normalization and uses a convolutional
+    classifier head followed by global average pooling; both traits are kept
+    here.  The paper notes SqueezeNet fails to learn under FedAvg on the device
+    dataset (Table 5) — the absence of normalization makes it sensitive to the
+    input distribution shifts induced by device heterogeneity, and this
+    analogue reproduces that fragility.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 12,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+
+        def c(channels: int) -> int:
+            return max(2, int(round(channels * width_mult)))
+
+        self.num_classes = num_classes
+        self.stem = Conv2d(in_channels, c(16), 3, stride=2, padding=1, rng=rng)
+        self.pool1 = MaxPool2d(2)
+        self.fire1 = FireModule(c(16), c(4), c(8), rng=rng)
+        self.fire2 = FireModule(2 * c(8), c(4), c(8), rng=rng)
+        self.pool2 = MaxPool2d(2)
+        self.fire3 = FireModule(2 * c(8), c(8), c(16), rng=rng)
+        self.classifier_conv = Conv2d(2 * c(16), num_classes, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.stem(x))
+        out = self.pool1(out)
+        out = self.fire1(out)
+        out = self.fire2(out)
+        out = self.pool2(out)
+        out = self.fire3(out)
+        out = self.classifier_conv(out)
+        return F.global_avg_pool2d(out)

@@ -1,0 +1,109 @@
+"""Optimizers for the NumPy neural-network substrate.
+
+Only first-order methods are needed by the paper's experiments: plain SGD with
+optional momentum and weight decay, which is what FedAvg-style local training
+uses, plus a proximal variant used by the FedProx baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "ProximalSGD"]
+
+
+class Optimizer:
+    """Base optimizer interface."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class ProximalSGD(SGD):
+    """SGD with a FedProx proximal term pulling weights toward a reference point.
+
+    The FedProx local objective is ``f(w) + (mu / 2) * ||w - w_global||^2``; its
+    gradient adds ``mu * (w - w_global)`` to every update.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        mu: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, momentum=momentum, weight_decay=weight_decay)
+        if mu < 0:
+            raise ValueError(f"mu must be non-negative, got {mu}")
+        self.mu = mu
+        self._reference: Optional[List[np.ndarray]] = None
+
+    def set_reference(self, reference: Iterable[np.ndarray]) -> None:
+        """Record the global weights ``w_global`` for the proximal term."""
+        self._reference = [np.asarray(r, dtype=np.float64).copy() for r in reference]
+        if len(self._reference) != len(self.params):
+            raise ValueError("reference length does not match parameter count")
+
+    def step(self) -> None:
+        if self.mu and self._reference is not None:
+            for param, ref in zip(self.params, self._reference):
+                if param.grad is None:
+                    continue
+                param.grad = param.grad + self.mu * (param.data - ref)
+        super().step()

@@ -1,0 +1,117 @@
+"""Model weight (de)serialization helpers used by the FL framework.
+
+Federated learning exchanges model *parameter vectors*: clients receive the
+global weights, train locally, and return updated weights (or deltas).  These
+helpers convert between a module's ``state_dict`` and flat vectors, and provide
+the arithmetic used by aggregation rules (averaging, scaling, deltas).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = [
+    "state_dict_to_vector",
+    "vector_to_state_dict",
+    "get_weights",
+    "set_weights",
+    "zeros_like_state",
+    "add_states",
+    "scale_state",
+    "subtract_states",
+    "average_states",
+    "state_norm",
+]
+
+StateDict = Dict[str, np.ndarray]
+
+
+def get_weights(model: Module) -> StateDict:
+    """Return a copy of the model's full state (parameters + buffers)."""
+    return model.state_dict()
+
+
+def set_weights(model: Module, state: StateDict) -> None:
+    """Load a state dict into a model in-place."""
+    model.load_state_dict(state)
+
+
+def state_dict_to_vector(state: StateDict) -> np.ndarray:
+    """Flatten a state dict into a single 1-D array (keys sorted for determinism)."""
+    return np.concatenate([np.ravel(state[key]) for key in sorted(state)]) if state else np.zeros(0)
+
+
+def vector_to_state_dict(vector: np.ndarray, template: StateDict) -> StateDict:
+    """Unflatten ``vector`` using the shapes of ``template`` (keys sorted)."""
+    result: StateDict = {}
+    offset = 0
+    for key in sorted(template):
+        size = template[key].size
+        chunk = vector[offset : offset + size]
+        if chunk.size != size:
+            raise ValueError("vector length does not match template")
+        result[key] = chunk.reshape(template[key].shape).copy()
+        offset += size
+    if offset != vector.size:
+        raise ValueError("vector length does not match template")
+    return result
+
+
+def zeros_like_state(state: StateDict) -> StateDict:
+    """Return a state dict of zeros with the same structure."""
+    return {key: np.zeros_like(value) for key, value in state.items()}
+
+
+def add_states(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise sum of two state dicts."""
+    _check_keys(a, b)
+    return {key: a[key] + b[key] for key in a}
+
+
+def subtract_states(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise difference ``a - b``."""
+    _check_keys(a, b)
+    return {key: a[key] - b[key] for key in a}
+
+
+def scale_state(state: StateDict, factor: float) -> StateDict:
+    """Multiply every entry by ``factor``."""
+    return {key: value * factor for key, value in state.items()}
+
+
+def average_states(states: Sequence[StateDict], weights: Iterable[float] | None = None) -> StateDict:
+    """Weighted average of state dicts (the FedAvg aggregation primitive)."""
+    states = list(states)
+    if not states:
+        raise ValueError("cannot average an empty list of states")
+    if weights is None:
+        weights_arr = np.full(len(states), 1.0 / len(states))
+    else:
+        weights_arr = np.asarray(list(weights), dtype=np.float64)
+        if weights_arr.shape[0] != len(states):
+            raise ValueError("weights length must match number of states")
+        total = weights_arr.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        weights_arr = weights_arr / total
+    result = zeros_like_state(states[0])
+    for weight, state in zip(weights_arr, states):
+        _check_keys(result, state)
+        for key in result:
+            result[key] += weight * state[key]
+    return result
+
+
+def state_norm(state: StateDict) -> float:
+    """L2 norm of the flattened state (used by q-FedAvg's Lipschitz estimate)."""
+    return float(np.sqrt(sum(float(np.sum(value ** 2)) for value in state.values())))
+
+
+def _check_keys(a: StateDict, b: StateDict) -> None:
+    if a.keys() != b.keys():
+        missing = set(a).symmetric_difference(b)
+        raise KeyError(f"state dicts have mismatched keys: {sorted(missing)[:5]}")

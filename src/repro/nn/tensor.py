@@ -1,0 +1,510 @@
+"""A small reverse-mode automatic differentiation engine on top of NumPy.
+
+This module is the computational substrate for the whole reproduction: the
+paper trains convolutional networks with PyTorch, which is not available in
+this environment, so we provide a compact but complete autograd ``Tensor``
+with the operations the model zoo (:mod:`repro.nn.models`) needs.
+
+The design follows the familiar define-by-run pattern: every operation on
+:class:`Tensor` objects records a backward closure on the output tensor, and
+:meth:`Tensor.backward` walks the recorded graph in reverse topological order
+accumulating gradients.  All heavy lifting is vectorized NumPy; there are no
+per-element Python loops on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+
+class _GradMode:
+    """Process-wide flag controlling whether operations build the graph."""
+
+    enabled: bool = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GradMode.enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` if operations currently record gradient information."""
+    return _GradMode.enabled
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``.
+
+    NumPy broadcasting expands leading dimensions and size-1 dimensions; the
+    corresponding gradient contribution must be summed back down.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum extra leading dims.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over broadcast (size-1) axes.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``float64`` by default for numerical
+        robustness of the small-scale experiments in this repository.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_pending_grads",
+        "name",
+    )
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the single scalar value held by this tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a deep copy (detached)."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        requires = _GradMode.enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ``1.0`` which is only valid for scalar
+            outputs (e.g. a loss value).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        # Topological order of the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                # The backward closure stores contributions for the parents
+                # via the `grads` dict captured through `_receive`.
+                node._pending_grads = grads  # type: ignore[attr-defined]
+                node._backward(node_grad)
+                del node._pending_grads  # type: ignore[attr-defined]
+                if node.requires_grad and node in (self,):
+                    pass
+
+    # Helper used inside backward closures to route gradients to parents.
+    def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
+        grads: dict[int, np.ndarray] = getattr(self, "_pending_grads")
+        key = id(parent)
+        if parent._backward is None and parent.requires_grad:
+            parent._accumulate(grad)
+        elif parent._backward is not None:
+            if key in grads:
+                grads[key] = grads[key] + grad
+            else:
+                grads[key] = grad
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, _unbroadcast(grad, self.shape))
+            out._send(other_t, _unbroadcast(grad, other_t.shape))
+
+        out = Tensor._make(out_data, (self, other_t), lambda g: backward(g, out))
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, -grad)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other_t)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, _unbroadcast(grad * other_t.data, self.shape))
+            out._send(other_t, _unbroadcast(grad * self.data, other_t.shape))
+
+        out = Tensor._make(out_data, (self, other_t), lambda g: backward(g, out))
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, _unbroadcast(grad / other_t.data, self.shape))
+            out._send(
+                other_t,
+                _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape),
+            )
+
+        out = Tensor._make(out_data, (self, other_t), lambda g: backward(g, out))
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            out._send(self, np.broadcast_to(g, self.shape).astype(self.data.dtype))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, int):
+            count = self.data.shape[axis]
+        else:
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient evenly among ties to keep the operator linear.
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            out._send(self, mask * g / denom)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad.reshape(original_shape))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else None
+        out_data = self.data.transpose(axes_tuple)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            if axes_tuple is None:
+                out._send(self, grad.transpose())
+            else:
+                inverse = np.argsort(axes_tuple)
+                out._send(self, grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            out._send(self, full)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            a, b = self.data, other_t.data
+            if a.ndim == 2 and b.ndim == 2:
+                out._send(self, grad @ b.T)
+                out._send(other_t, a.T @ grad)
+            else:  # batched matmul fallback
+                grad_a = grad @ np.swapaxes(b, -1, -2)
+                grad_b = np.swapaxes(a, -1, -2) @ grad
+                out._send(self, _unbroadcast(grad_a, a.shape))
+                out._send(other_t, _unbroadcast(grad_b, b.shape))
+
+        out = Tensor._make(out_data, (self, other_t), lambda g: backward(g, out))
+        return out
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities (exposed here; functional wrappers live in functional.py)
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * out_data)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad / self.data)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * mask)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * (1.0 - out_data ** 2))
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * mask)
+
+        out = Tensor._make(out_data, (self,), lambda g: backward(g, out))
+        return out
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, end)
+            out._send(tensor, grad[tuple(slicer)])
+
+    out = Tensor._make(out_data, tuple(tensors), lambda g: backward(g, out))
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for i, tensor in enumerate(tensors):
+            out._send(tensor, moved[i])
+
+    out = Tensor._make(out_data, tuple(tensors), lambda g: backward(g, out))
+    return out

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use tiny datasets/models so the full suite stays fast;
+the benchmark harness (not the tests) exercises the larger "default" scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.capture import build_device_datasets
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import build_client_specs
+from repro.devices.profiles import market_shares
+from repro.fl.config import FLConfig
+from repro.nn.models import SimpleMLP
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """Per-device datasets at the smallest useful size (3 devices, 3 classes)."""
+    return build_device_datasets(
+        samples_per_class_train=3,
+        samples_per_class_test=2,
+        num_classes=3,
+        image_size=16,
+        scene_size=32,
+        devices=["Pixel5", "S6", "G7"],
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_clients(tiny_bundle):
+    """Client population over the tiny bundle (uniform shares)."""
+    shares = {name: market_shares()[name] for name in tiny_bundle.train}
+    return build_client_specs(tiny_bundle.train, num_clients=6, shares=shares, seed=0)
+
+
+@pytest.fixture
+def tiny_fl_config() -> FLConfig:
+    return FLConfig(
+        num_clients=6,
+        clients_per_round=3,
+        num_rounds=2,
+        local_epochs=1,
+        batch_size=4,
+        learning_rate=0.02,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def tiny_model_fn(tiny_bundle):
+    image_size = tiny_bundle.image_size
+    num_classes = tiny_bundle.num_classes
+
+    def factory() -> SimpleMLP:
+        return SimpleMLP(3 * image_size * image_size, num_classes, hidden=16, seed=0)
+
+    return factory
+
+
+@pytest.fixture
+def small_image_dataset(rng) -> ArrayDataset:
+    """A small NCHW image classification dataset with learnable structure."""
+    n, classes, size = 24, 3, 8
+    labels = np.arange(n) % classes
+    features = rng.normal(0.5, 0.1, size=(n, 3, size, size))
+    # Make each class separable by shifting one channel's mean.
+    for i, label in enumerate(labels):
+        features[i, label % 3] += 0.5 * (label + 1)
+    return ArrayDataset(np.clip(features, 0, 2), labels)

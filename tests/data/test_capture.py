@@ -1,0 +1,129 @@
+"""Tests for the device capture simulation (scene -> RAW -> ISP -> tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.data.capture import CaptureConfig, build_device_datasets, capture_with_device
+from repro.data.scenes import generate_scene_dataset
+from repro.devices.profiles import get_device
+from repro.isp.pipeline import BASELINE_CONFIG
+
+
+@pytest.fixture(scope="module")
+def scenes_and_labels():
+    return generate_scene_dataset(2, num_classes=3, image_size=32, seed=0)
+
+
+class TestCaptureWithDevice:
+    def test_output_layout(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        dataset = capture_with_device(scenes, labels, get_device("Pixel5"),
+                                      CaptureConfig(image_size=16, seed=0))
+        assert dataset.features.shape == (len(scenes), 3, 16, 16)
+        np.testing.assert_array_equal(dataset.labels, labels)
+
+    def test_value_range(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        dataset = capture_with_device(scenes, labels, get_device("S6"),
+                                      CaptureConfig(image_size=16, seed=0))
+        assert dataset.features.min() >= 0.0 and dataset.features.max() <= 1.0
+
+    def test_metadata_populated(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        dataset = capture_with_device(scenes, labels, get_device("G7"),
+                                      CaptureConfig(image_size=16, seed=0))
+        assert dataset.metadata["device"] == "G7"
+        assert dataset.metadata["vendor"] == "lg"
+        assert dataset.metadata["raw"] is False
+
+    def test_raw_mode(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        dataset = capture_with_device(scenes, labels, get_device("Pixel5"),
+                                      CaptureConfig(image_size=16, raw=True, seed=0))
+        assert dataset.metadata["isp"] == "raw"
+        assert dataset.features.shape == (len(scenes), 3, 16, 16)
+
+    def test_raw_differs_from_processed(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        device = get_device("Pixel5")
+        raw = capture_with_device(scenes, labels, device, CaptureConfig(16, raw=True, seed=0))
+        processed = capture_with_device(scenes, labels, device, CaptureConfig(16, seed=0))
+        assert not np.allclose(raw.features, processed.features)
+
+    def test_different_devices_produce_different_images(self, scenes_and_labels):
+        """The core system-induced heterogeneity mechanism: same scene, different tensors."""
+        scenes, labels = scenes_and_labels
+        a = capture_with_device(scenes, labels, get_device("Pixel5"), CaptureConfig(16, seed=0))
+        b = capture_with_device(scenes, labels, get_device("S22"), CaptureConfig(16, seed=0))
+        assert np.abs(a.features - b.features).mean() > 0.01
+
+    def test_same_vendor_devices_more_similar(self, scenes_and_labels):
+        """Pixel5 vs Pixel2 captures are closer than Pixel5 vs S22 (Table 2 structure)."""
+        scenes, labels = scenes_and_labels
+        cfg = CaptureConfig(16, seed=0)
+        pixel5 = capture_with_device(scenes, labels, get_device("Pixel5"), cfg).features
+        pixel2 = capture_with_device(scenes, labels, get_device("Pixel2"), cfg).features
+        s22 = capture_with_device(scenes, labels, get_device("S22"), cfg).features
+        same_vendor_gap = np.abs(pixel5 - pixel2).mean()
+        cross_vendor_gap = np.abs(pixel5 - s22).mean()
+        assert same_vendor_gap < cross_vendor_gap
+
+    def test_isp_override(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        dataset = capture_with_device(
+            scenes, labels, get_device("S6"),
+            CaptureConfig(image_size=16, isp_override=BASELINE_CONFIG, seed=0),
+        )
+        assert dataset.metadata["isp"] == "baseline"
+
+    def test_rejects_bad_scene_shape(self):
+        with pytest.raises(ValueError):
+            capture_with_device(np.zeros((2, 8, 8)), np.zeros(2), get_device("S6"))
+
+    def test_rejects_mismatched_labels(self, scenes_and_labels):
+        scenes, _ = scenes_and_labels
+        with pytest.raises(ValueError):
+            capture_with_device(scenes, np.zeros(1), get_device("S6"))
+
+
+class TestBuildDeviceDatasets:
+    def test_bundle_structure(self):
+        bundle = build_device_datasets(
+            samples_per_class_train=2, samples_per_class_test=1, num_classes=3,
+            image_size=16, scene_size=32, devices=["Pixel5", "S6"], seed=0,
+        )
+        assert set(bundle.train) == {"Pixel5", "S6"}
+        assert set(bundle.test) == {"Pixel5", "S6"}
+        assert bundle.num_classes == 3
+        assert len(bundle.train["Pixel5"]) == 6
+        assert len(bundle.test["S6"]) == 3
+
+    def test_same_labels_across_devices(self):
+        """Every device captures the same scenes, so labels align across devices."""
+        bundle = build_device_datasets(
+            samples_per_class_train=2, samples_per_class_test=1, num_classes=3,
+            image_size=16, scene_size=32, devices=["Pixel5", "S6", "G7"], seed=0,
+        )
+        np.testing.assert_array_equal(bundle.train["Pixel5"].labels, bundle.train["S6"].labels)
+        np.testing.assert_array_equal(bundle.test["S6"].labels, bundle.test["G7"].labels)
+
+    def test_train_test_scenes_disjoint(self):
+        bundle = build_device_datasets(
+            samples_per_class_train=2, samples_per_class_test=2, num_classes=3,
+            image_size=16, scene_size=32, devices=["Pixel5"], seed=0,
+        )
+        # Train and test pools come from different seeds, so images differ.
+        assert not np.allclose(bundle.train["Pixel5"].features[:3],
+                               bundle.test["Pixel5"].features[:3])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            build_device_datasets(devices=["Pixel5", "iPhone"], samples_per_class_train=1,
+                                  samples_per_class_test=1, num_classes=2)
+
+    def test_devices_helper(self):
+        bundle = build_device_datasets(
+            samples_per_class_train=1, samples_per_class_test=1, num_classes=2,
+            image_size=16, scene_size=32, devices=["Pixel5", "S6"], seed=0,
+        )
+        assert bundle.devices() == ["Pixel5", "S6"]

@@ -1,0 +1,138 @@
+"""Tests for ArrayDataset, DataLoader and layout conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import ArrayDataset, DataLoader, hwc_to_nchw, nchw_to_hwc, train_test_split
+
+
+def make_dataset(n=20, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.random((n, 6)), np.arange(n) % classes)
+
+
+class TestLayoutConversion:
+    def test_hwc_to_nchw_shape(self):
+        assert hwc_to_nchw(np.zeros((2, 8, 10, 3))).shape == (2, 3, 8, 10)
+
+    def test_round_trip(self):
+        images = np.random.default_rng(0).random((3, 5, 7, 3))
+        np.testing.assert_allclose(nchw_to_hwc(hwc_to_nchw(images)), images)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            hwc_to_nchw(np.zeros((8, 10, 3)))
+        with pytest.raises(ValueError):
+            nchw_to_hwc(np.zeros((3, 8, 10)))
+
+
+class TestArrayDataset:
+    def test_length(self):
+        assert len(make_dataset(15)) == 15
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((0, 2)), np.zeros(0))
+
+    def test_subset(self):
+        ds = make_dataset(10)
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.features[1], ds.features[2])
+
+    def test_merge(self):
+        a, b = make_dataset(5), make_dataset(7, seed=1)
+        merged = a.merge(b)
+        assert len(merged) == 12
+        np.testing.assert_allclose(merged.features[:5], a.features)
+
+    def test_metadata_preserved_in_subset(self):
+        ds = ArrayDataset(np.zeros((4, 2)), np.zeros(4), metadata={"device": "S6"})
+        assert ds.subset(np.array([0, 1])).metadata == {"device": "S6"}
+
+
+class TestDataLoader:
+    def test_batches_cover_all_samples(self):
+        ds = make_dataset(23)
+        loader = DataLoader(ds, batch_size=5, shuffle=True, seed=0)
+        total = sum(len(features) for features, _ in loader)
+        assert total == 23
+
+    def test_len(self):
+        ds = make_dataset(23)
+        assert len(DataLoader(ds, batch_size=5)) == 5
+        assert len(DataLoader(ds, batch_size=5, drop_last=True)) == 4
+
+    def test_drop_last(self):
+        ds = make_dataset(23)
+        loader = DataLoader(ds, batch_size=5, drop_last=True)
+        sizes = [len(features) for features, _ in loader]
+        assert all(size == 5 for size in sizes)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        features, labels = next(iter(loader))
+        np.testing.assert_allclose(features, ds.features)
+        np.testing.assert_array_equal(labels, ds.labels)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = make_dataset(50)
+        loader = DataLoader(ds, batch_size=50, shuffle=True, seed=1)
+        features, labels = next(iter(loader))
+        assert not np.allclose(features, ds.features)
+        assert sorted(labels.tolist()) == sorted(ds.labels.tolist())
+
+    def test_labels_stay_aligned_with_features(self):
+        ds = make_dataset(30)
+        # Make labels recoverable from the features: label = first feature column value index
+        features = np.arange(30, dtype=float).reshape(30, 1)
+        labels = np.arange(30)
+        aligned = ArrayDataset(features, labels)
+        loader = DataLoader(aligned, batch_size=7, shuffle=True, seed=3)
+        for batch_features, batch_labels in loader:
+            np.testing.assert_array_equal(batch_features[:, 0].astype(int), batch_labels)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)
+
+    @given(st.integers(1, 50), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_samples_yielded_once(self, n, batch_size):
+        ds = ArrayDataset(np.arange(n, dtype=float).reshape(n, 1), np.zeros(n, dtype=int))
+        loader = DataLoader(ds, batch_size=batch_size, shuffle=True, seed=0)
+        seen = np.concatenate([features[:, 0] for features, _ in loader])
+        assert sorted(seen.tolist()) == list(range(n))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        ds = make_dataset(40)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == 40
+        assert 5 <= len(test) <= 15
+
+    def test_no_overlap(self):
+        features = np.arange(30, dtype=float).reshape(30, 1)
+        ds = ArrayDataset(features, np.arange(30) % 3)
+        train, test = train_test_split(ds, 0.3, seed=1)
+        train_ids = set(train.features[:, 0].astype(int))
+        test_ids = set(test.features[:, 0].astype(int))
+        assert not train_ids & test_ids
+        assert train_ids | test_ids == set(range(30))
+
+    def test_stratified_keeps_all_classes_in_test(self):
+        ds = make_dataset(40, classes=4)
+        _, test = train_test_split(ds, 0.25, seed=0, stratify=True)
+        assert set(np.unique(test.labels)) == {0, 1, 2, 3}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), 1.5)

@@ -1,0 +1,91 @@
+"""Tests for the procedural scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.scenes import SCENE_CLASSES, SceneGenerator, generate_scene_dataset
+
+
+class TestSceneGenerator:
+    def test_twelve_classes_defined(self):
+        assert len(SCENE_CLASSES) == 12
+
+    def test_output_shape_and_range(self):
+        gen = SceneGenerator(image_size=32, num_classes=12, seed=0)
+        for label in range(12):
+            scene = gen.generate(label)
+            assert scene.shape == (32, 32, 3)
+            assert scene.min() >= 0.0 and scene.max() <= 1.0
+
+    def test_invalid_label(self):
+        gen = SceneGenerator(num_classes=4)
+        with pytest.raises(ValueError):
+            gen.generate(4)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            SceneGenerator(num_classes=1)
+        with pytest.raises(ValueError):
+            SceneGenerator(num_classes=20)
+
+    def test_invalid_image_size(self):
+        with pytest.raises(ValueError):
+            SceneGenerator(image_size=4)
+
+    def test_class_name_lookup(self):
+        assert SceneGenerator().class_name(0) == "chihuahua"
+
+    def test_intra_class_variation(self):
+        gen = SceneGenerator(image_size=32, seed=0)
+        a = gen.generate(2)
+        b = gen.generate(2)
+        assert not np.allclose(a, b)
+
+    def test_inter_class_differences_larger_than_intra(self):
+        """Mean pairwise distance across classes exceeds within-class distance."""
+        gen = SceneGenerator(image_size=32, num_classes=6, seed=0)
+        rng = np.random.default_rng(0)
+        per_class = {c: [gen.generate(c, rng) for _ in range(4)] for c in range(6)}
+        intra, inter = [], []
+        for c, scenes in per_class.items():
+            for i in range(len(scenes)):
+                for j in range(i + 1, len(scenes)):
+                    intra.append(np.abs(scenes[i] - scenes[j]).mean())
+        classes = list(per_class)
+        for i in range(len(classes)):
+            for j in range(i + 1, len(classes)):
+                inter.append(np.abs(per_class[classes[i]][0] - per_class[classes[j]][0]).mean())
+        assert np.mean(inter) > np.mean(intra) * 0.8  # classes are visually distinct
+
+    def test_generate_batch_deterministic(self):
+        gen = SceneGenerator(image_size=16, num_classes=4, seed=0)
+        labels = np.array([0, 1, 2, 3])
+        np.testing.assert_allclose(gen.generate_batch(labels, seed=5),
+                                   gen.generate_batch(labels, seed=5))
+
+
+class TestGenerateSceneDataset:
+    def test_balanced_classes(self):
+        scenes, labels = generate_scene_dataset(5, num_classes=4, image_size=16, seed=0)
+        assert scenes.shape == (20, 16, 16, 3)
+        counts = np.bincount(labels, minlength=4)
+        np.testing.assert_array_equal(counts, [5, 5, 5, 5])
+
+    def test_deterministic(self):
+        a_scenes, a_labels = generate_scene_dataset(2, num_classes=3, image_size=16, seed=1)
+        b_scenes, b_labels = generate_scene_dataset(2, num_classes=3, image_size=16, seed=1)
+        np.testing.assert_allclose(a_scenes, b_scenes)
+        np.testing.assert_array_equal(a_labels, b_labels)
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_scene_dataset(2, num_classes=3, image_size=16, seed=0)
+        b, _ = generate_scene_dataset(2, num_classes=3, image_size=16, seed=9)
+        assert not np.allclose(a, b)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            generate_scene_dataset(0)
+
+    def test_shuffled_label_order(self):
+        _, labels = generate_scene_dataset(5, num_classes=4, image_size=16, seed=0)
+        assert not np.array_equal(labels, np.repeat(np.arange(4), 5))

@@ -1,0 +1,153 @@
+"""Tests for the synthetic CIFAR, FLAIR-like and ECG datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.cifar_synthetic import SyntheticCifarConfig, build_synthetic_cifar, generate_base_images
+from repro.data.ecg import ECG_SENSOR_TYPES, build_ecg_datasets, synthesize_ecg_window
+from repro.data.flair_synthetic import FlairConfig, build_flair_dataset
+
+
+class TestSyntheticCifar:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(image_size=4)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(num_device_types=0)
+
+    def test_base_images_shapes(self):
+        images, labels = generate_base_images(30, num_classes=5, image_size=16, seed=0)
+        assert images.shape == (30, 16, 16, 3)
+        assert labels.shape == (30,)
+        assert labels.max() < 5
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_base_images_deterministic(self):
+        a, _ = generate_base_images(10, 4, 16, seed=3)
+        b, _ = generate_base_images(10, 4, 16, seed=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_per_device_datasets(self):
+        config = SyntheticCifarConfig(num_classes=5, samples_per_class_train=3,
+                                      samples_per_class_test=2, image_size=16,
+                                      num_device_types=4, seed=0)
+        train, test, devices = build_synthetic_cifar(config)
+        assert len(train) == 4 and len(test) == 4
+        assert len(devices) == 4
+        first = devices[0].name
+        assert train[first].features.shape == (15, 3, 16, 16)
+        assert test[first].features.shape == (10, 3, 16, 16)
+
+    def test_same_labels_across_device_types(self):
+        config = SyntheticCifarConfig(num_classes=4, samples_per_class_train=3,
+                                      samples_per_class_test=2, image_size=16,
+                                      num_device_types=3, seed=0)
+        train, _, devices = build_synthetic_cifar(config)
+        labels = [train[d.name].labels for d in devices]
+        np.testing.assert_array_equal(labels[0], labels[1])
+        np.testing.assert_array_equal(labels[1], labels[2])
+
+    def test_device_types_perturb_images_differently(self):
+        config = SyntheticCifarConfig(num_classes=4, samples_per_class_train=3,
+                                      samples_per_class_test=2, image_size=16,
+                                      num_device_types=3, seed=0)
+        train, _, devices = build_synthetic_cifar(config)
+        a = train[devices[0].name].features
+        b = train[devices[1].name].features
+        assert not np.allclose(a, b)
+
+
+class TestFlairSynthetic:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FlairConfig(num_labels=1)
+        with pytest.raises(ValueError):
+            FlairConfig(num_device_types=1)
+        with pytest.raises(ValueError):
+            FlairConfig(avg_labels_per_image=100)
+
+    def test_multilabel_targets(self):
+        config = FlairConfig(num_labels=5, num_device_types=3, samples_per_device_train=8,
+                             samples_per_device_test=4, image_size=16, seed=0)
+        train, test, devices = build_flair_dataset(config)
+        assert len(devices) == 3
+        labels = train[devices[0].name].labels
+        assert labels.shape == (8, 5)
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_every_image_has_a_label(self):
+        config = FlairConfig(num_labels=4, num_device_types=3, samples_per_device_train=10,
+                             samples_per_device_test=5, image_size=16, seed=1)
+        train, _, devices = build_flair_dataset(config)
+        for device in devices:
+            assert (train[device.name].labels.sum(axis=1) >= 1).all()
+
+    def test_image_layout_and_range(self):
+        config = FlairConfig(num_labels=4, num_device_types=2, samples_per_device_train=5,
+                             samples_per_device_test=3, image_size=16, seed=0)
+        train, _, devices = build_flair_dataset(config)
+        features = train[devices[0].name].features
+        assert features.shape == (5, 3, 16, 16)
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+    def test_device_metadata(self):
+        config = FlairConfig(num_labels=4, num_device_types=2, samples_per_device_train=5,
+                             samples_per_device_test=3, image_size=16, seed=0)
+        train, _, devices = build_flair_dataset(config)
+        assert train[devices[0].name].metadata["kind"] == "flair-synthetic"
+
+
+class TestECG:
+    def test_four_sensor_types(self):
+        assert len(ECG_SENSOR_TYPES) == 4
+        assert len({s.name for s in ECG_SENSOR_TYPES}) == 4
+
+    def test_window_synthesis(self):
+        window = synthesize_ecg_window(75.0, window_size=128, rng=np.random.default_rng(0))
+        assert window.shape == (128,)
+        assert np.isfinite(window).all()
+
+    def test_heart_rate_bounds(self):
+        with pytest.raises(ValueError):
+            synthesize_ecg_window(10.0)
+        with pytest.raises(ValueError):
+            synthesize_ecg_window(300.0)
+
+    def test_higher_rate_more_peaks(self):
+        rng = np.random.default_rng(0)
+        slow = synthesize_ecg_window(50.0, window_size=256, rng=rng)
+        fast = synthesize_ecg_window(150.0, window_size=256, rng=rng)
+        # Count prominent peaks via a simple threshold crossing of the QRS amplitude.
+        def peaks(signal):
+            above = signal > 0.6
+            return int(np.sum(np.diff(above.astype(int)) == 1))
+        assert peaks(fast) > peaks(slow)
+
+    def test_sensor_corruption_changes_signal(self):
+        clean = synthesize_ecg_window(80.0, rng=np.random.default_rng(0))
+        wrist = ECG_SENSOR_TYPES[2]
+        corrupted = wrist.apply(clean, np.random.default_rng(1))
+        assert not np.allclose(corrupted, clean)
+
+    def test_sensors_differ_from_each_other(self):
+        clean = synthesize_ecg_window(80.0, rng=np.random.default_rng(0))
+        outputs = [s.apply(clean, np.random.default_rng(5)) for s in ECG_SENSOR_TYPES]
+        for i in range(len(outputs)):
+            for j in range(i + 1, len(outputs)):
+                assert not np.allclose(outputs[i], outputs[j])
+
+    def test_dataset_structure(self):
+        train, test, sensors = build_ecg_datasets(samples_per_sensor_train=10,
+                                                  samples_per_sensor_test=5,
+                                                  window_size=64, seed=0)
+        assert set(train) == {s.name for s in sensors}
+        assert train["clinical"].features.shape == (10, 64)
+        assert train["clinical"].labels.shape == (10, 1)
+        labels = train["clinical"].labels
+        assert labels.min() >= 0.0 and labels.max() <= 1.0
+
+    def test_invalid_heart_rate_range(self):
+        with pytest.raises(ValueError):
+            build_ecg_datasets(heart_rate_range=(150.0, 50.0))

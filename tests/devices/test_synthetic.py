@@ -1,0 +1,110 @@
+"""Tests for synthetic device-type generation (CIFAR / FLAIR experiments)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.synthetic import (
+    SyntheticDeviceType,
+    generate_synthetic_devices,
+    long_tailed_population,
+)
+
+
+def make_images(n=4, size=8, seed=0):
+    return np.random.default_rng(seed).random((n, size, size, 3))
+
+
+class TestSyntheticDeviceType:
+    def test_identity_device_is_noop(self):
+        device = SyntheticDeviceType(name="identity")
+        images = make_images()
+        np.testing.assert_allclose(device.apply(images), images)
+
+    def test_brightness_shifts_mean(self):
+        device = SyntheticDeviceType(name="bright", brightness=0.2)
+        images = make_images() * 0.5
+        assert device.apply(images).mean() > images.mean()
+
+    def test_contrast_stretches_around_half(self):
+        device = SyntheticDeviceType(name="contrast", contrast=2.0)
+        images = np.full((1, 4, 4, 3), 0.75)
+        np.testing.assert_allclose(device.apply(images), 1.0)
+
+    def test_zero_saturation_produces_grayscale(self):
+        device = SyntheticDeviceType(name="gray", saturation=0.0)
+        out = device.apply(make_images())
+        np.testing.assert_allclose(out[..., 0], out[..., 1])
+        np.testing.assert_allclose(out[..., 1], out[..., 2])
+
+    def test_hue_shift_changes_channel_balance(self):
+        device = SyntheticDeviceType(name="hue", hue_shift=0.3)
+        images = np.zeros((1, 4, 4, 3))
+        images[..., 0] = 1.0
+        out = device.apply(images)
+        assert out[..., 1].mean() > 0.0 or out[..., 2].mean() > 0.0
+
+    def test_noise_applied(self):
+        device = SyntheticDeviceType(name="noisy", noise_sigma=0.1)
+        images = np.full((2, 8, 8, 3), 0.5)
+        out = device.apply(images, np.random.default_rng(0))
+        assert not np.allclose(out, images)
+
+    def test_output_range(self):
+        device = SyntheticDeviceType(name="extreme", contrast=3.0, brightness=0.5,
+                                     saturation=2.0, hue_shift=0.4, noise_sigma=0.2)
+        out = device.apply(make_images(), np.random.default_rng(0))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestGenerators:
+    def test_count(self):
+        assert len(generate_synthetic_devices(10, seed=0)) == 10
+
+    def test_deterministic(self):
+        a = generate_synthetic_devices(5, seed=3)
+        b = generate_synthetic_devices(5, seed=3)
+        assert [d.contrast for d in a] == [d.contrast for d in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_devices(5, seed=0)
+        b = generate_synthetic_devices(5, seed=1)
+        assert [d.contrast for d in a] != [d.contrast for d in b]
+
+    def test_devices_distinct(self):
+        devices = generate_synthetic_devices(10, seed=0)
+        params = {(d.contrast, d.brightness, d.saturation) for d in devices}
+        assert len(params) == 10
+
+    def test_parameters_within_ranges(self):
+        devices = generate_synthetic_devices(20, seed=0, contrast_range=(0.8, 1.2))
+        assert all(0.8 <= d.contrast <= 1.2 for d in devices)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_devices(0)
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_unique_names(self, count):
+        devices = generate_synthetic_devices(count, seed=count)
+        assert len({d.name for d in devices}) == count
+
+
+class TestLongTailedPopulation:
+    def test_probabilities_sum_to_one(self):
+        _, probs = long_tailed_population(num_types=30, seed=0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_long_tail_shape(self):
+        _, probs = long_tailed_population(num_types=50, seed=0)
+        assert probs[0] > probs[-1] * 5  # head dominates the tail
+
+    def test_device_count(self):
+        devices, probs = long_tailed_population(num_types=12, seed=0)
+        assert len(devices) == 12 and len(probs) == 12
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            long_tailed_population(num_types=0)

@@ -1,0 +1,96 @@
+"""Tests for the centralized-training helpers used by the characterization study."""
+
+import numpy as np
+import pytest
+
+from repro.core.swad import SWADAverager
+from repro.core.transforms import default_isp_transform
+from repro.data.dataset import ArrayDataset
+from repro.eval.centralized import evaluate_on_devices, evaluate_under_transform, train_centralized
+from repro.fl.training import evaluate_loss, evaluate_metric
+from repro.isp.transforms import GaussianNoise
+from repro.nn.models import SimpleMLP
+
+
+@pytest.fixture
+def separable_dataset():
+    rng = np.random.default_rng(0)
+    n, size = 36, 6
+    labels = np.arange(n) % 3
+    features = rng.normal(0.4, 0.05, size=(n, 3, size, size))
+    for i, label in enumerate(labels):
+        features[i, label] += 0.4
+    return ArrayDataset(np.clip(features, 0, 1), labels)
+
+
+def make_model():
+    return SimpleMLP(3 * 6 * 6, 3, hidden=16, seed=0)
+
+
+class TestTrainCentralized:
+    def test_training_improves_loss(self, separable_dataset):
+        model = make_model()
+        initial = evaluate_loss(model, separable_dataset, "classification")
+        train_centralized(model, separable_dataset, epochs=8, batch_size=6,
+                          learning_rate=0.3, seed=0)
+        assert evaluate_loss(model, separable_dataset, "classification") < initial
+
+    def test_training_reaches_good_accuracy(self, separable_dataset):
+        model = make_model()
+        train_centralized(model, separable_dataset, epochs=15, batch_size=6,
+                          learning_rate=0.3, seed=0)
+        assert evaluate_metric(model, separable_dataset, "classification") > 0.7
+
+    def test_invalid_epochs(self, separable_dataset):
+        with pytest.raises(ValueError):
+            train_centralized(make_model(), separable_dataset, epochs=0)
+
+    def test_with_transform(self, separable_dataset):
+        model = make_model()
+        transform = default_isp_transform(wb_degree=0.2, gamma_degree=0.2)
+        train_centralized(model, separable_dataset, epochs=3, batch_size=6,
+                          learning_rate=0.2, transform=transform, seed=0)
+        assert evaluate_metric(model, separable_dataset, "classification") >= 0.0
+
+    def test_with_swad_averager_loads_average(self, separable_dataset):
+        model = make_model()
+        averager = SWADAverager()
+        train_centralized(model, separable_dataset, epochs=2, batch_size=6,
+                          learning_rate=0.2, weight_averager=averager, seed=0)
+        assert averager.count > 0
+        # The loaded weights are exactly the averager's average.
+        np.testing.assert_allclose(model.state_dict()["fc1.weight"],
+                                   averager.average()["fc1.weight"])
+
+    def test_per_epoch_averaging_counts_epochs(self, separable_dataset):
+        model = make_model()
+        averager = SWADAverager()
+        train_centralized(model, separable_dataset, epochs=3, batch_size=6,
+                          learning_rate=0.2, weight_averager=averager,
+                          average_per_epoch=True, seed=0)
+        assert averager.count == 3
+
+
+class TestEvaluationHelpers:
+    def test_evaluate_on_devices(self, separable_dataset):
+        model = make_model()
+        metrics = evaluate_on_devices(model, {"a": separable_dataset, "b": separable_dataset})
+        assert set(metrics) == {"a", "b"}
+        assert metrics["a"] == pytest.approx(metrics["b"])
+
+    def test_evaluate_under_transform_returns_accuracy(self, separable_dataset):
+        model = make_model()
+        train_centralized(model, separable_dataset, epochs=10, batch_size=6,
+                          learning_rate=0.3, seed=0)
+        clean = evaluate_metric(model, separable_dataset, "classification")
+        perturbed = evaluate_under_transform(model, separable_dataset, GaussianNoise(0.0), seed=0)
+        assert perturbed == pytest.approx(clean)
+
+    def test_strong_noise_degrades_accuracy(self, separable_dataset):
+        model = make_model()
+        train_centralized(model, separable_dataset, epochs=15, batch_size=6,
+                          learning_rate=0.3, seed=0)
+        clean = evaluate_metric(model, separable_dataset, "classification")
+        noisy = evaluate_under_transform(model, separable_dataset,
+                                         GaussianNoise(degree=5.0, max_sigma=0.4), seed=0)
+        assert noisy <= clean + 1e-9

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.eval.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "table4", "--scale", "smoke", "--seed", "3"])
+        assert args.experiment == "table4"
+        assert args.scale == "smoke"
+        assert args.seed == 3
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_run_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table4", "--scale", "huge"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig7", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "completed" in out
+
+    def test_run_with_output_report(self, tmp_path, capsys):
+        assert main(["run", "fig7", "--scale", "smoke", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "report.md").exists()
+        assert (tmp_path / "fig7.csv").exists()
+
+    def test_run_deterministic_given_seed(self, capsys):
+        main(["run", "fig7", "--scale", "smoke", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["run", "fig7", "--scale", "smoke", "--seed", "5"])
+        second = capsys.readouterr().out
+        # Strip the timing line, which legitimately differs between runs.
+        strip = lambda text: "\n".join(l for l in text.splitlines() if "completed in" not in l)
+        assert strip(first) == strip(second)

@@ -1,0 +1,122 @@
+"""Integration tests: every experiment runner completes at smoke scale and its
+result has the structure the corresponding table/figure needs."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.results import ExperimentResult
+
+
+class TestRunnerIndex:
+    def test_all_paper_artifacts_covered(self):
+        expected = {"fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig7",
+                    "table4", "table5", "table6", "fig8", "ecg", "fig9"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+@pytest.fixture(scope="module")
+def few_devices():
+    return ["Pixel5", "S6", "G7"]
+
+
+class TestCharacterizationRunners:
+    def test_fig1(self, few_devices):
+        result = run_experiment("fig1", scale="smoke", devices=few_devices)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "fig1"
+        assert len(result.rows) == 2
+        assert 0.0 <= result.scalar("homogeneous_accuracy") <= 1.0
+        assert 0.0 <= result.scalar("heterogeneous_accuracy") <= 1.0
+
+    def test_table2_matrix_structure(self, few_devices):
+        result = run_experiment("table2", scale="smoke", devices=few_devices)
+        # One row per train device plus the "mean others" row.
+        assert len(result.rows) == len(few_devices) + 1
+        # Diagonal entries are zero degradation by construction.
+        for row in result.rows[:-1]:
+            device = row[0]
+            column = result.headers.index(device)
+            assert row[column] == pytest.approx(0.0)
+        assert np.isfinite(result.scalar("mean_degradation"))
+
+    def test_fig2_uses_raw(self, few_devices):
+        result = run_experiment("fig2", scale="smoke", devices=few_devices)
+        assert result.metadata["raw"] is True
+        assert len(result.rows) == len(few_devices) + 1
+
+    def test_fig3_covers_all_stage_variants(self, few_devices):
+        result = run_experiment("fig3", scale="smoke", devices=few_devices[:2])
+        assert len(result.rows) == 12  # 6 stages x 2 options
+        variant_names = {row[0] for row in result.rows}
+        assert any(name.startswith("white_balance") for name in variant_names)
+        assert any(name.startswith("tone") for name in variant_names)
+
+    def test_fig4_reports_all_devices(self, few_devices):
+        result = run_experiment("fig4", scale="smoke", devices=few_devices)
+        assert {row[0] for row in result.rows} == set(few_devices)
+        assert "dominant_accuracy" in result.scalars
+
+    def test_fig5_rows_per_excluded_device(self, few_devices):
+        result = run_experiment("fig5", scale="smoke", devices=few_devices)
+        assert {row[0] for row in result.rows} == set(few_devices)
+        assert "mean_degradation" in result.scalars
+
+
+class TestGeneralizationAndEvaluationRunners:
+    def test_fig7_compares_three_methods(self):
+        result = run_experiment("fig7", scale="smoke", test_degrees=(0.3, 0.6))
+        methods = {row[0] for row in result.rows}
+        assert methods == {"transform_only", "transform_swa", "transform_swad"}
+        transforms = {row[1] for row in result.rows}
+        assert transforms == {"affine", "gaussian_noise", "white_balance", "gamma"}
+
+    def test_table4_rows_and_metrics(self, few_devices):
+        result = run_experiment("table4", scale="smoke", devices=few_devices,
+                                methods=("fedavg", "heteroswitch"))
+        assert [row[0] for row in result.rows] == ["fedavg", "heteroswitch"]
+        for method in ("fedavg", "heteroswitch"):
+            assert 0.0 <= result.scalar(f"{method}_worst_case") <= 1.0
+            assert result.scalar(f"{method}_variance") >= 0.0
+
+    def test_table5_model_sweep(self, few_devices):
+        result = run_experiment("table5", scale="smoke", devices=few_devices,
+                                model_names=("simple_mlp",), methods=("fedavg", "heteroswitch"))
+        assert len(result.rows) == 2
+        assert all(row[0] == "simple_mlp" for row in result.rows)
+
+    def test_table6_flair(self):
+        result = run_experiment("table6", scale="smoke", methods=("fedavg", "heteroswitch"))
+        assert len(result.rows) == 2
+        for method in ("fedavg", "heteroswitch"):
+            assert 0.0 <= result.scalar(f"{method}_averaged_precision") <= 1.0
+
+    def test_fig8_per_device_rows(self):
+        result = run_experiment("fig8", scale="smoke", methods=("fedavg",))
+        assert result.scalar("fedavg_average") >= 0.0
+        assert len(result.rows) == result.metadata["num_device_types"]
+
+    def test_ecg_deviation(self):
+        result = run_experiment("ecg", scale="smoke", methods=("fedavg", "heteroswitch"))
+        assert result.scalar("fedavg_mean_deviation") >= 0.0
+        assert result.scalar("heteroswitch_mean_deviation") >= 0.0
+        sensors = {row[1] for row in result.rows}
+        assert sensors == {"clinical", "chest_strap", "wrist_wearable", "handheld"}
+
+    def test_fig9_sweeps(self):
+        result = run_experiment("fig9", scale="smoke",
+                                sweeps={"learning_rate": (0.01, 0.1), "batch_size": (4,)})
+        assert len(result.rows) == 3
+        parameters = {row[0] for row in result.rows}
+        assert parameters == {"learning_rate", "batch_size"}
+
+
+class TestResultRendering:
+    def test_markdown_rendering_of_real_result(self, few_devices):
+        result = run_experiment("fig1", scale="smoke", devices=few_devices)
+        markdown = result.to_markdown()
+        assert "fig1" in markdown and "homogeneous" in markdown

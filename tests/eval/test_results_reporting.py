@@ -1,0 +1,133 @@
+"""Tests for experiment result containers, scales, factories and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.factories import make_model_factory
+from repro.eval.reporting import result_to_csv, results_to_markdown, write_report
+from repro.eval.results import ExperimentResult, format_mapping, format_table
+from repro.eval.scale import SCALES, ExperimentScale, get_scale
+from repro.nn.tensor import Tensor
+
+
+class TestFormatting:
+    def test_format_table_structure(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.5000" in lines[2]
+
+    def test_format_mapping(self):
+        table = format_mapping({"k": 1.0})
+        assert "| k | 1.0000 |" in table
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="table9",
+            description="demo",
+            headers=["method", "value"],
+            rows=[["fedavg", 0.5]],
+            scalars={"fedavg_value": 0.5},
+        )
+
+    def test_markdown_contains_table_and_scalars(self):
+        md = self.make().to_markdown()
+        assert "table9" in md and "fedavg" in md and "fedavg_value" in md
+
+    def test_scalar_lookup(self):
+        assert self.make().scalar("fedavg_value") == 0.5
+
+    def test_scalar_missing_raises_with_available(self):
+        with pytest.raises(KeyError, match="available"):
+            self.make().scalar("missing")
+
+    def test_csv_rendering(self):
+        csv_text = result_to_csv(self.make())
+        assert csv_text.splitlines()[0] == "method,value"
+        assert "fedavg,0.5" in csv_text
+
+    def test_results_to_markdown_concatenates(self):
+        md = results_to_markdown([self.make(), self.make()], title="Report")
+        assert md.count("table9") >= 2
+        assert md.startswith("# Report")
+
+    def test_write_report(self, tmp_path):
+        report = write_report([self.make()], tmp_path)
+        assert report.exists()
+        assert (tmp_path / "table9.csv").exists()
+        assert "table9" in report.read_text()
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"smoke", "default", "paper"} <= set(SCALES)
+
+    def test_get_scale_by_name(self):
+        assert get_scale("smoke").name == "smoke"
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["smoke"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_paper_parameters(self):
+        paper = get_scale("paper")
+        assert paper.num_clients == 100
+        assert paper.clients_per_round == 20
+        assert paper.num_rounds == 1000
+        assert paper.batch_size == 10
+        assert paper.local_epochs == 1
+        assert paper.num_classes == 12
+
+    def test_with_overrides(self):
+        custom = get_scale("smoke").with_overrides(num_rounds=7)
+        assert custom.num_rounds == 7
+        assert get_scale("smoke").num_rounds != 7 or custom is not get_scale("smoke")
+
+    def test_scales_ordered_by_size(self):
+        assert (get_scale("smoke").samples_per_class_train
+                <= get_scale("default").samples_per_class_train
+                <= get_scale("paper").samples_per_class_train)
+
+
+class TestModelFactory:
+    def test_mlp_factory(self):
+        scale = get_scale("smoke")
+        factory = make_model_factory(scale, num_classes=4, image_size=8, model_name="simple_mlp")
+        model = factory()
+        out = model(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+
+    def test_cnn_factory(self):
+        scale = get_scale("smoke")
+        factory = make_model_factory(scale, num_classes=5, image_size=16,
+                                     model_name="mobilenetv3_small")
+        out = factory()(Tensor(np.zeros((1, 3, 16, 16))))
+        assert out.shape == (1, 5)
+
+    def test_factories_deterministic(self):
+        scale = get_scale("smoke")
+        factory = make_model_factory(scale, num_classes=3, image_size=8, model_name="simple_mlp")
+        a, b = factory(), factory()
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_ecg_factory(self):
+        scale = get_scale("smoke")
+        factory = make_model_factory(scale, num_classes=1, image_size=32,
+                                     model_name="ecg_regressor")
+        out = factory()(Tensor(np.zeros((2, 32))))
+        assert out.shape == (2, 1)
+
+    def test_multilabel_factory(self):
+        scale = get_scale("smoke")
+        factory = make_model_factory(scale, num_classes=6, image_size=16,
+                                     model_name="multilabel_cnn")
+        out = factory()(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 6)

@@ -1,0 +1,165 @@
+"""Tests for FLConfig validation and the shared local-training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.config import FLConfig
+from repro.fl.training import ClientResult, compute_loss, evaluate_loss, evaluate_metric, local_train
+from repro.nn.models import SimpleMLP
+from repro.nn.serialization import get_weights, state_dict_to_vector
+
+
+class TestFLConfig:
+    def test_defaults_match_paper(self):
+        config = FLConfig()
+        assert config.batch_size == 10
+        assert config.local_epochs == 1
+        assert config.learning_rate == 0.1
+        assert config.clients_per_round == 20
+        assert config.num_clients == 100
+        assert config.ema_alpha == 0.9
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_clients": 0},
+        {"clients_per_round": 0},
+        {"clients_per_round": 101},
+        {"num_rounds": 0},
+        {"local_epochs": 0},
+        {"batch_size": 0},
+        {"learning_rate": 0.0},
+        {"task": "segmentation"},
+        {"ema_alpha": 0.0},
+        {"ema_alpha": 1.5},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FLConfig(**kwargs)
+
+    def test_frozen(self):
+        config = FLConfig()
+        with pytest.raises(Exception):
+            config.batch_size = 5
+
+
+@pytest.fixture
+def classification_setup():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(20, 6))
+    labels = (features[:, 0] > 0).astype(int)
+    dataset = ArrayDataset(features, labels)
+    model = SimpleMLP(6, 2, hidden=8, seed=0)
+    config = FLConfig(num_clients=4, clients_per_round=2, num_rounds=1,
+                      batch_size=5, learning_rate=0.2, local_epochs=2, seed=0)
+    return model, dataset, config
+
+
+class TestComputeAndEvaluate:
+    def test_compute_loss_classification(self, classification_setup):
+        model, dataset, config = classification_setup
+        loss = compute_loss(model, dataset.features, dataset.labels, "classification")
+        assert float(loss.data) > 0
+
+    def test_compute_loss_unknown_task(self, classification_setup):
+        model, dataset, _ = classification_setup
+        with pytest.raises(ValueError):
+            compute_loss(model, dataset.features, dataset.labels, "ranking")
+
+    def test_evaluate_loss_no_grad_side_effects(self, classification_setup):
+        model, dataset, _ = classification_setup
+        evaluate_loss(model, dataset, "classification")
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_evaluate_metric_range(self, classification_setup):
+        model, dataset, _ = classification_setup
+        metric = evaluate_metric(model, dataset, "classification")
+        assert 0.0 <= metric <= 1.0
+
+    def test_evaluate_metric_multilabel(self):
+        model = SimpleMLP(4, 3, hidden=8, seed=0)
+        dataset = ArrayDataset(np.random.default_rng(0).normal(size=(10, 4)),
+                               (np.random.default_rng(1).random((10, 3)) > 0.5).astype(float))
+        metric = evaluate_metric(model, dataset, "multilabel")
+        assert 0.0 <= metric <= 1.0
+
+    def test_evaluate_metric_regression(self):
+        model = SimpleMLP(4, 1, hidden=8, seed=0)
+        dataset = ArrayDataset(np.random.default_rng(0).normal(size=(10, 4)),
+                               np.random.default_rng(1).random((10, 1)))
+        metric = evaluate_metric(model, dataset, "regression")
+        assert metric <= 1.0
+
+
+class TestLocalTrain:
+    def test_returns_client_result(self, classification_setup):
+        model, dataset, config = classification_setup
+        global_state = get_weights(model)
+        result = local_train(model, dataset, config, global_state, seed=0)
+        assert isinstance(result, ClientResult)
+        assert result.num_samples == len(dataset)
+        assert result.train_loss > 0
+        assert result.init_loss > 0
+
+    def test_training_changes_weights(self, classification_setup):
+        model, dataset, config = classification_setup
+        global_state = get_weights(model)
+        result = local_train(model, dataset, config, global_state, seed=0)
+        assert not np.allclose(state_dict_to_vector(result.state),
+                               state_dict_to_vector(global_state))
+
+    def test_training_reduces_loss(self, classification_setup):
+        model, dataset, _ = classification_setup
+        config = FLConfig(num_clients=4, clients_per_round=2, num_rounds=1,
+                          batch_size=5, learning_rate=0.3, local_epochs=10, seed=0)
+        global_state = get_weights(model)
+        result = local_train(model, dataset, config, global_state, seed=0)
+        final_loss = evaluate_loss(model, dataset, "classification")
+        assert final_loss < result.init_loss
+
+    def test_starts_from_global_state(self, classification_setup):
+        """local_train must overwrite whatever weights the model currently holds."""
+        model, dataset, config = classification_setup
+        global_state = get_weights(model)
+        # Scramble the model weights.
+        for p in model.parameters():
+            p.data += 10.0
+        result = local_train(model, dataset, config, global_state, seed=0)
+        # init_loss is computed on the restored global weights, so it should be
+        # a sane cross-entropy value, not the loss of the scrambled model.
+        assert result.init_loss < 20.0
+
+    def test_transform_hook_called(self, classification_setup):
+        model, dataset, config = classification_setup
+        calls = {"count": 0}
+
+        def transform(features, labels):
+            calls["count"] += 1
+            return features
+
+        local_train(model, dataset, config, get_weights(model), transform=transform, seed=0)
+        assert calls["count"] > 0
+
+    def test_batch_hook_called_once_per_batch(self, classification_setup):
+        model, dataset, config = classification_setup
+        seen = []
+
+        def hook(hook_model, batch_index, epoch_index):
+            seen.append((epoch_index, batch_index))
+
+        local_train(model, dataset, config, get_weights(model), batch_hook=hook, seed=0)
+        batches_per_epoch = int(np.ceil(len(dataset) / config.batch_size))
+        assert len(seen) == batches_per_epoch * config.local_epochs
+
+    def test_deterministic_given_seed(self, classification_setup):
+        model, dataset, config = classification_setup
+        global_state = get_weights(model)
+        a = local_train(model, dataset, config, global_state, seed=7)
+        b = local_train(model, dataset, config, global_state, seed=7)
+        np.testing.assert_allclose(state_dict_to_vector(a.state), state_dict_to_vector(b.state))
+
+    def test_different_seeds_differ(self, classification_setup):
+        model, dataset, config = classification_setup
+        global_state = get_weights(model)
+        a = local_train(model, dataset, config, global_state, seed=1)
+        b = local_train(model, dataset, config, global_state, seed=2)
+        assert not np.allclose(state_dict_to_vector(a.state), state_dict_to_vector(b.state))

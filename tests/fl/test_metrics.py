@@ -1,0 +1,169 @@
+"""Tests for FL evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.metrics import (
+    accuracy,
+    accuracy_variance,
+    average_precision,
+    heart_rate_deviation,
+    mean_average_precision,
+    mean_value,
+    model_quality_degradation,
+    summarize_per_device,
+    worst_case,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_all_wrong(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 3)), np.zeros(3))
+
+
+class TestDegradation:
+    def test_no_degradation(self):
+        assert model_quality_degradation(0.8, 0.8) == 0.0
+
+    def test_half_degradation(self):
+        assert model_quality_degradation(0.8, 0.4) == pytest.approx(0.5)
+
+    def test_improvement_negative(self):
+        assert model_quality_degradation(0.5, 0.6) < 0.0
+
+    def test_zero_reference(self):
+        assert model_quality_degradation(0.0, 0.5) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        targets = np.array([1.0, 1.0, 0.0, 0.0])
+        assert average_precision(scores, targets) == 1.0
+
+    def test_worst_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        targets = np.array([0.0, 0.0, 1.0, 1.0])
+        assert average_precision(scores, targets) < 0.6
+
+    def test_no_positives_returns_zero(self):
+        assert average_precision(np.array([0.5, 0.4]), np.array([0.0, 0.0])) == 0.0
+
+    def test_known_value(self):
+        # One positive ranked second: AP = 1/2.
+        scores = np.array([0.9, 0.8])
+        targets = np.array([0.0, 1.0])
+        assert average_precision(scores, targets) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(3), np.zeros(4))
+
+    @given(st.integers(2, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds(self, n):
+        rng = np.random.default_rng(n)
+        scores = rng.random(n)
+        targets = (rng.random(n) > 0.5).astype(float)
+        ap = average_precision(scores, targets)
+        assert 0.0 <= ap <= 1.0
+
+
+class TestMeanAveragePrecision:
+    def test_macro_average(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert mean_average_precision(scores, targets) == 1.0
+
+    def test_skips_labels_without_positives(self):
+        scores = np.array([[0.9, 0.5], [0.2, 0.5]])
+        targets = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert mean_average_precision(scores, targets) == average_precision(
+            scores[:, 0], targets[:, 0]
+        )
+
+    def test_all_empty_returns_zero(self):
+        assert mean_average_precision(np.zeros((3, 2)), np.zeros((3, 2))) == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            mean_average_precision(np.zeros(3), np.zeros(3))
+
+
+class TestPerDeviceSummaries:
+    def test_variance_in_percent_units(self):
+        per_device = {"a": 0.60, "b": 0.70}
+        # 60 and 70 percent -> variance 25.
+        assert accuracy_variance(per_device) == pytest.approx(25.0)
+
+    def test_variance_of_identical_values_zero(self):
+        assert accuracy_variance({"a": 0.5, "b": 0.5}) == 0.0
+
+    def test_variance_accepts_percent_inputs(self):
+        assert accuracy_variance({"a": 60.0, "b": 70.0}) == pytest.approx(25.0)
+
+    def test_worst_case(self):
+        assert worst_case({"a": 0.3, "b": 0.7}) == pytest.approx(0.3)
+
+    def test_mean_value(self):
+        assert mean_value({"a": 0.4, "b": 0.6}) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case({})
+        with pytest.raises(ValueError):
+            mean_value({})
+        with pytest.raises(ValueError):
+            accuracy_variance({})
+
+    def test_summarize_bundle(self):
+        summary = summarize_per_device({"a": 0.5, "b": 0.7})
+        assert set(summary) == {"worst_case", "variance", "average"}
+        assert summary["worst_case"] == pytest.approx(0.5)
+        assert summary["average"] == pytest.approx(0.6)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4), st.floats(0.0, 1.0),
+                           min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_worst_le_mean(self, per_device):
+        assert worst_case(per_device) <= mean_value(per_device) + 1e-12
+
+
+class TestHeartRateDeviation:
+    def test_zero_for_perfect_predictions(self):
+        targets = np.array([0.5, 0.8])
+        assert heart_rate_deviation(targets, targets) == 0.0
+
+    def test_known_value(self):
+        assert heart_rate_deviation(np.array([0.6]), np.array([0.5])) == pytest.approx(0.2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            heart_rate_deviation(np.zeros(2), np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heart_rate_deviation(np.zeros(0), np.zeros(0))

@@ -1,0 +1,141 @@
+"""Tests for the federated simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FederatedSimulation, FLHistory
+from repro.fl.strategies import FedAvg, create_strategy
+from repro.nn.serialization import state_dict_to_vector
+
+
+class TestSimulationConstruction:
+    def test_rejects_empty_clients(self, tiny_bundle, tiny_fl_config, tiny_model_fn):
+        with pytest.raises(ValueError):
+            FederatedSimulation(tiny_model_fn, [], tiny_bundle.test, FedAvg(), tiny_fl_config)
+
+    def test_rejects_empty_test_sets(self, tiny_clients, tiny_fl_config, tiny_model_fn):
+        with pytest.raises(ValueError):
+            FederatedSimulation(tiny_model_fn, tiny_clients, {}, FedAvg(), tiny_fl_config)
+
+    def test_rejects_mismatched_client_count(self, tiny_bundle, tiny_clients, tiny_model_fn):
+        config = FLConfig(num_clients=99, clients_per_round=3, num_rounds=1)
+        with pytest.raises(ValueError):
+            FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(), config)
+
+
+class TestSimulationRun:
+    def test_history_structure(self, tiny_bundle, tiny_clients, tiny_fl_config, tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        history = sim.run()
+        assert isinstance(history, FLHistory)
+        assert len(history.rounds) == tiny_fl_config.num_rounds
+        assert set(history.per_device_metric) == set(tiny_bundle.test)
+        assert set(history.summary) == {"worst_case", "variance", "average"}
+
+    def test_selects_k_clients_per_round(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                         tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        history = sim.run()
+        for record in history.rounds:
+            assert len(record.selected_clients) == tiny_fl_config.clients_per_round
+            assert len(set(record.selected_clients)) == len(record.selected_clients)
+
+    def test_global_weights_change(self, tiny_bundle, tiny_clients, tiny_fl_config, tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        before = state_dict_to_vector(sim.global_state)
+        sim.run()
+        after = state_dict_to_vector(sim.global_state)
+        assert not np.allclose(before, after)
+
+    def test_ema_tracked_each_round(self, tiny_bundle, tiny_clients, tiny_fl_config, tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        history = sim.run()
+        assert all(np.isfinite(record.ema_loss) for record in history.rounds)
+        assert len(sim.context.ema.history) == tiny_fl_config.num_rounds
+
+    def test_deterministic_given_seed(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                      tiny_model_fn):
+        run1 = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                   tiny_fl_config).run()
+        run2 = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                   tiny_fl_config).run()
+        assert run1.per_device_metric == run2.per_device_metric
+        assert [r.selected_clients for r in run1.rounds] == [r.selected_clients for r in run2.rounds]
+
+    def test_periodic_evaluation(self, tiny_bundle, tiny_clients, tiny_model_fn):
+        config = FLConfig(num_clients=6, clients_per_round=3, num_rounds=4, batch_size=4,
+                          learning_rate=0.1, eval_every=2, seed=0)
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(), config)
+        history = sim.run()
+        assert len(history.evaluations) == 2
+
+    def test_run_with_explicit_round_count(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                           tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        history = sim.run(num_rounds=1)
+        assert len(history.rounds) == 1
+
+    def test_invalid_round_count(self, tiny_bundle, tiny_clients, tiny_fl_config, tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        with pytest.raises(ValueError):
+            sim.run(num_rounds=0)
+
+    def test_global_model_reflects_training(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                            tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        sim.run()
+        model = sim.global_model()
+        np.testing.assert_allclose(
+            state_dict_to_vector(model.state_dict()), state_dict_to_vector(sim.global_state)
+        )
+
+    def test_final_train_loss_property(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                       tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test, FedAvg(),
+                                  tiny_fl_config)
+        history = sim.run()
+        assert history.final_train_loss == history.rounds[-1].mean_train_loss
+
+    def test_empty_history_raises(self):
+        with pytest.raises(RuntimeError):
+            FLHistory(strategy="x").final_train_loss
+
+
+class TestAllStrategiesEndToEnd:
+    @pytest.mark.parametrize("strategy_name", [
+        "fedavg", "qfedavg", "fedprox", "scaffold", "isp_transform", "isp_swad", "heteroswitch",
+    ])
+    def test_every_strategy_completes(self, strategy_name, tiny_bundle, tiny_clients,
+                                      tiny_fl_config, tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  create_strategy(strategy_name), tiny_fl_config)
+        history = sim.run()
+        assert history.strategy == strategy_name
+        assert all(0.0 <= value <= 1.0 for value in history.per_device_metric.values())
+        assert np.isfinite(history.final_train_loss)
+
+    def test_heteroswitch_records_switch_counts(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                                tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  create_strategy("heteroswitch"), tiny_fl_config)
+        history = sim.run()
+        # Counts are recorded per round and bounded by the number of selected clients.
+        for record in history.rounds:
+            assert 0 <= record.num_switch2 <= record.num_switch1 <= len(record.selected_clients)
+
+    def test_isp_swad_always_switches(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                      tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  create_strategy("isp_swad"), tiny_fl_config)
+        history = sim.run()
+        for record in history.rounds:
+            assert record.num_switch1 == len(record.selected_clients)
+            assert record.num_switch2 == len(record.selected_clients)

@@ -1,0 +1,208 @@
+"""Tests for FL strategies: FedAvg aggregation, q-FedAvg, FedProx, SCAFFOLD."""
+
+import numpy as np
+import pytest
+
+from repro.core.ema import EMALossTracker
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import ClientSpec
+from repro.fl.config import FLConfig
+from repro.fl.strategies import (
+    STRATEGY_REGISTRY,
+    FedAvg,
+    FedProx,
+    FLContext,
+    QFedAvg,
+    Scaffold,
+    create_strategy,
+)
+from repro.fl.training import ClientResult
+from repro.nn.models import SimpleMLP
+from repro.nn.serialization import get_weights, state_dict_to_vector
+
+
+def make_context(config=None, seed=0):
+    config = config or FLConfig(num_clients=4, clients_per_round=2, num_rounds=1,
+                                batch_size=4, learning_rate=0.1, seed=seed)
+    return FLContext(config=config, ema=EMALossTracker(), rng=np.random.default_rng(seed))
+
+
+def make_spec(client_id=0, device="S6", n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 5))
+    labels = (features[:, 0] > 0).astype(int)
+    return ClientSpec(client_id=client_id, device=device, dataset=ArrayDataset(features, labels))
+
+
+def make_result(value, num_samples=1, loss=1.0):
+    return ClientResult(state={"w": np.array([float(value)])}, num_samples=num_samples,
+                        train_loss=loss, init_loss=loss)
+
+
+class TestRegistry:
+    def test_all_table4_methods_registered(self):
+        for name in ("fedavg", "qfedavg", "fedprox", "scaffold",
+                     "isp_transform", "isp_swad", "heteroswitch"):
+            assert name in STRATEGY_REGISTRY
+
+    def test_create_strategy(self):
+        assert isinstance(create_strategy("fedavg"), FedAvg)
+        assert isinstance(create_strategy("fedprox", mu=0.5), FedProx)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            create_strategy("fedsgd")
+
+    def test_lazy_heteroswitch_import(self):
+        from repro.core.heteroswitch import HeteroSwitch
+
+        assert isinstance(create_strategy("heteroswitch"), HeteroSwitch)
+
+
+class TestFedAvgAggregation:
+    def test_equal_sample_average(self):
+        strategy = FedAvg()
+        results = [make_result(0.0, 5), make_result(2.0, 5)]
+        out = strategy.aggregate({"w": np.array([1.0])}, results, make_context())
+        np.testing.assert_allclose(out["w"], [1.0])
+
+    def test_sample_weighted_average(self):
+        strategy = FedAvg()
+        results = [make_result(0.0, 30), make_result(10.0, 10)]
+        out = strategy.aggregate({"w": np.array([0.0])}, results, make_context())
+        np.testing.assert_allclose(out["w"], [2.5])
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            FedAvg().aggregate({"w": np.zeros(1)}, [], make_context())
+
+    def test_on_round_end_updates_ema(self):
+        context = make_context()
+        FedAvg().on_round_end(context, [make_result(0.0, loss=2.0), make_result(0.0, loss=4.0)])
+        assert context.ema.value == pytest.approx(3.0)
+
+    def test_client_update_trains(self):
+        strategy = FedAvg()
+        context = make_context()
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        spec = make_spec()
+        global_state = get_weights(model)
+        result = strategy.client_update(model, spec, global_state, context)
+        assert result.metadata["device"] == "S6"
+        assert not np.allclose(state_dict_to_vector(result.state),
+                               state_dict_to_vector(global_state))
+
+
+class TestQFedAvg:
+    def test_q_zero_behaves_like_scaled_fedavg_direction(self):
+        """With q=0 all clients get equal weight; the update moves toward the client mean."""
+        strategy = QFedAvg(q=0.0)
+        global_state = {"w": np.array([0.0])}
+        results = [make_result(1.0, loss=1.0), make_result(3.0, loss=1.0)]
+        out = strategy.aggregate(global_state, results, make_context())
+        # Update direction is toward the average of client weights (positive).
+        assert out["w"][0] > 0.0
+
+    def test_higher_loss_client_weighted_more(self):
+        strategy = QFedAvg(q=2.0)
+        global_state = {"w": np.array([0.0])}
+        low_loss = ClientResult(state={"w": np.array([1.0])}, num_samples=1,
+                                train_loss=0.1, init_loss=0.1)
+        high_loss = ClientResult(state={"w": np.array([-1.0])}, num_samples=1,
+                                 train_loss=5.0, init_loss=5.0)
+        out = strategy.aggregate(global_state, [low_loss, high_loss], make_context())
+        # The high-loss client (pushing negative) should dominate the update.
+        assert out["w"][0] < 0.0
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            QFedAvg(q=-1.0)
+
+    def test_aggregation_finite(self):
+        strategy = QFedAvg(q=1e-6)
+        global_state = {"w": np.array([0.5, -0.5])}
+        results = [ClientResult(state={"w": np.array([0.3, -0.2])}, num_samples=4,
+                                train_loss=1.2, init_loss=1.5),
+                   ClientResult(state={"w": np.array([0.6, -0.9])}, num_samples=4,
+                                train_loss=0.8, init_loss=0.9)]
+        out = strategy.aggregate(global_state, results, make_context())
+        assert np.isfinite(out["w"]).all()
+
+    def test_client_update_same_as_fedavg(self):
+        """q-FedAvg differs only at aggregation; its client update is FedAvg's."""
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        spec = make_spec()
+        global_state = get_weights(model)
+        fed = FedAvg().client_update(model, spec, global_state, make_context())
+        qfed = QFedAvg().client_update(model, spec, global_state, make_context())
+        np.testing.assert_allclose(state_dict_to_vector(fed.state),
+                                   state_dict_to_vector(qfed.state))
+
+
+class TestFedProx:
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            FedProx(mu=-0.5)
+
+    def test_large_mu_limits_drift(self):
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        spec = make_spec(n=20)
+        global_state = get_weights(model)
+        # Keep lr * mu well below 1 so the proximal update stays contractive.
+        config = FLConfig(num_clients=4, clients_per_round=2, num_rounds=1,
+                          batch_size=5, learning_rate=0.1, local_epochs=5, seed=0)
+        free = FedProx(mu=0.0).client_update(model, spec, global_state, make_context(config))
+        constrained = FedProx(mu=2.0).client_update(model, spec, global_state, make_context(config))
+        global_vec = state_dict_to_vector(global_state)
+        drift_free = np.linalg.norm(state_dict_to_vector(free.state) - global_vec)
+        drift_constrained = np.linalg.norm(state_dict_to_vector(constrained.state) - global_vec)
+        assert drift_constrained < drift_free
+
+    def test_mu_zero_matches_fedavg(self):
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        spec = make_spec()
+        global_state = get_weights(model)
+        fed = FedAvg().client_update(model, spec, global_state, make_context())
+        prox = FedProx(mu=0.0).client_update(model, spec, global_state, make_context())
+        np.testing.assert_allclose(state_dict_to_vector(fed.state),
+                                   state_dict_to_vector(prox.state), atol=1e-10)
+
+
+class TestScaffold:
+    def test_control_variates_created(self):
+        strategy = Scaffold()
+        context = make_context()
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        spec = make_spec()
+        strategy.client_update(model, spec, get_weights(model), context)
+        assert "scaffold_c" in context.server_storage
+        assert "c_i" in context.client_storage[spec.client_id]
+
+    def test_client_control_variate_nonzero_after_update(self):
+        strategy = Scaffold()
+        context = make_context()
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        spec = make_spec()
+        strategy.client_update(model, spec, get_weights(model), context)
+        c_i = context.client_storage[spec.client_id]["c_i"]
+        assert any(np.abs(value).max() > 0 for value in c_i.values())
+
+    def test_aggregate_updates_server_control(self):
+        strategy = Scaffold()
+        context = make_context()
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        global_state = get_weights(model)
+        results = [strategy.client_update(model, make_spec(i, seed=i), global_state, context)
+                   for i in range(2)]
+        before = {k: v.copy() for k, v in context.server_storage["scaffold_c"].items()}
+        strategy.aggregate(global_state, results, context)
+        after = context.server_storage["scaffold_c"]
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed
+
+    def test_c_delta_in_metadata(self):
+        strategy = Scaffold()
+        context = make_context()
+        model = SimpleMLP(5, 2, hidden=8, seed=0)
+        result = strategy.client_update(model, make_spec(), get_weights(model), context)
+        assert "c_delta" in result.metadata

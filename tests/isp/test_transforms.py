@@ -1,0 +1,162 @@
+"""Tests for the random ISP transforms (Eq. 2 / Eq. 3) and robustness perturbations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isp.transforms import (
+    Compose,
+    GaussianNoise,
+    RandomAffine,
+    RandomGamma,
+    RandomGaussianFilter1D,
+    RandomWhiteBalance,
+    apply_gamma,
+    apply_white_balance_gains,
+)
+
+
+def make_batch(n=4, size=8, seed=0):
+    return np.random.default_rng(seed).random((n, size, size, 3))
+
+
+class TestPrimitives:
+    def test_apply_wb_gains_scales_channels(self):
+        images = np.full((2, 4, 4, 3), 0.5)
+        out = apply_white_balance_gains(images, [1.0, 0.5, 2.0])
+        np.testing.assert_allclose(out[..., 0], 0.5)
+        np.testing.assert_allclose(out[..., 1], 0.25)
+        np.testing.assert_allclose(out[..., 2], 1.0)
+
+    def test_apply_wb_gains_clips(self):
+        out = apply_white_balance_gains(np.full((1, 2, 2, 3), 0.9), [2.0, 2.0, 2.0])
+        assert out.max() <= 1.0
+
+    def test_apply_wb_wrong_gain_count(self):
+        with pytest.raises(ValueError):
+            apply_white_balance_gains(make_batch(), [1.0, 1.0])
+
+    def test_apply_gamma_identity(self):
+        images = make_batch()
+        np.testing.assert_allclose(apply_gamma(images, 1.0), images)
+
+    def test_apply_gamma_darkens_for_large_gamma(self):
+        images = np.full((1, 2, 2, 3), 0.5)
+        assert apply_gamma(images, 2.0).mean() < 0.5
+
+    def test_apply_gamma_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            apply_gamma(make_batch(), -1.0)
+
+
+class TestRandomWhiteBalance:
+    def test_output_range(self):
+        out = RandomWhiteBalance(0.5)(make_batch(), np.random.default_rng(0))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_degree_is_identity(self):
+        images = make_batch()
+        out = RandomWhiteBalance(0.0)(images, np.random.default_rng(0))
+        np.testing.assert_allclose(out, images)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            RandomWhiteBalance(1.5)
+
+    def test_per_sample_mode_varies_across_batch(self):
+        images = np.full((8, 4, 4, 3), 0.5)
+        out = RandomWhiteBalance(0.5, per_sample=True)(images, np.random.default_rng(0))
+        per_sample_means = out.reshape(8, -1).mean(axis=1)
+        assert per_sample_means.std() > 0
+
+    def test_deterministic_given_rng(self):
+        images = make_batch()
+        a = RandomWhiteBalance(0.5)(images, np.random.default_rng(42))
+        b = RandomWhiteBalance(0.5)(images, np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)
+
+    @given(st.floats(0.0, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_gain_bounds_respected(self, degree):
+        """Gains in U(1-d, 1+d) can never brighten beyond (1+d) * input."""
+        images = np.full((2, 4, 4, 3), 0.4)
+        out = RandomWhiteBalance(degree)(images, np.random.default_rng(0))
+        assert out.max() <= min(1.0, 0.4 * (1 + degree)) + 1e-9
+        assert out.min() >= 0.4 * (1 - degree) - 1e-9
+
+
+class TestRandomGamma:
+    def test_output_range(self):
+        out = RandomGamma(0.5)(make_batch(), np.random.default_rng(0))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_degree_is_identity(self):
+        images = make_batch()
+        np.testing.assert_allclose(RandomGamma(0.0)(images, np.random.default_rng(0)), images)
+
+    def test_preserves_black_and_white(self):
+        images = np.zeros((1, 2, 2, 3))
+        images[0, 0, 0] = 1.0
+        out = RandomGamma(0.9)(images, np.random.default_rng(1))
+        assert out[0, 0, 0, 0] == pytest.approx(1.0)
+        assert out[0, 1, 1, 0] == pytest.approx(0.0)
+
+    def test_per_sample_mode(self):
+        images = np.full((8, 4, 4, 3), 0.5)
+        out = RandomGamma(0.9, per_sample=True)(images, np.random.default_rng(0))
+        assert out.reshape(8, -1).mean(axis=1).std() > 0
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            RandomGamma(-0.1)
+
+
+class TestOtherTransforms:
+    def test_affine_preserves_shape_and_range(self):
+        out = RandomAffine(0.5)(make_batch(), np.random.default_rng(0))
+        assert out.shape == (4, 8, 8, 3)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_affine_single_image(self):
+        image = make_batch(1)[0]
+        out = RandomAffine(0.5)(image, np.random.default_rng(0))
+        assert out.shape == image.shape
+
+    def test_affine_zero_degree_near_identity(self):
+        images = make_batch()
+        out = RandomAffine(0.0)(images, np.random.default_rng(0))
+        np.testing.assert_allclose(out, images, atol=1e-9)
+
+    def test_gaussian_noise_changes_image(self):
+        images = make_batch()
+        out = GaussianNoise(1.0)(images, np.random.default_rng(0))
+        assert not np.allclose(out, images)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_gaussian_noise_zero_degree_identity(self):
+        images = make_batch()
+        np.testing.assert_allclose(GaussianNoise(0.0)(images, np.random.default_rng(0)), images)
+
+    def test_gaussian_filter_1d_smooths(self):
+        rng = np.random.default_rng(0)
+        signals = rng.normal(size=(4, 128))
+        out = RandomGaussianFilter1D(1.0, 2.0)(signals, rng)
+        assert out.shape == signals.shape
+        assert np.var(np.diff(out, axis=-1)) < np.var(np.diff(signals, axis=-1))
+
+    def test_gaussian_filter_invalid_sigmas(self):
+        with pytest.raises(ValueError):
+            RandomGaussianFilter1D(2.0, 1.0)
+
+    def test_compose_applies_in_order(self):
+        images = make_batch()
+        composed = Compose([RandomWhiteBalance(0.0), RandomGamma(0.0)])
+        np.testing.assert_allclose(composed(images, np.random.default_rng(0)), images)
+
+    def test_compose_with_active_transforms(self):
+        images = make_batch()
+        composed = Compose([RandomWhiteBalance(0.5), RandomGamma(0.5)])
+        out = composed(images, np.random.default_rng(0))
+        assert out.shape == images.shape
+        assert not np.allclose(out, images)

@@ -1,0 +1,271 @@
+"""Tests for functional ops: convolutions, pooling, activations, losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def scalar_loss_grad_check(build_loss, tensors, atol=1e-5):
+    """Compare autograd gradients against central differences for each tensor."""
+    loss = build_loss()
+    loss.backward()
+    grads = [t.grad.copy() for t in tensors]
+    eps = 1e-6
+    for t, grad in zip(tensors, grads):
+        flat = t.data.reshape(-1)
+        # Check a handful of coordinates to keep the test fast.
+        rng = np.random.default_rng(0)
+        for idx in rng.choice(flat.size, size=min(5, flat.size), replace=False):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            f_plus = float(build_loss().data)
+            flat[idx] = orig - eps
+            f_minus = float(build_loss().data)
+            flat[idx] = orig
+            numerical = (f_plus - f_minus) / (2 * eps)
+            assert abs(numerical - grad.reshape(-1)[idx]) < atol, (
+                f"grad mismatch at {idx}: {numerical} vs {grad.reshape(-1)[idx]}"
+            )
+
+
+class TestConv2d:
+    def test_identity_kernel_preserves_input(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 1, 5, 5)))
+        w = Tensor(np.array([[[[0, 0, 0], [0, 1, 0], [0, 0, 0]]]], dtype=float))
+        out = F.conv2d(x, w, padding=1)
+        np.testing.assert_allclose(out.data, x.data, atol=1e-12)
+
+    def test_output_shape_stride_padding(self):
+        x = Tensor(np.zeros((2, 3, 8, 8)))
+        w = Tensor(np.zeros((4, 3, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 4, 4, 4)
+        assert F.conv2d(x, w, stride=1, padding=0).shape == (2, 4, 6, 6)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 2, 4, 4)))
+        w = Tensor(np.zeros((1, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(1)
+        x_data = rng.normal(size=(1, 2, 5, 5))
+        w_data = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x_data), Tensor(w_data), padding=0).data
+        # Naive reference.
+        expected = np.zeros((1, 3, 3, 3))
+        for oc in range(3):
+            for i in range(3):
+                for j in range(3):
+                    expected[0, oc, i, j] = np.sum(
+                        x_data[0, :, i : i + 3, j : j + 3] * w_data[oc]
+                    )
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 3, 3)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -2.0]))
+        out = F.conv2d(x, w, b, padding=1)
+        np.testing.assert_allclose(out.data[0, 0], 1.0)
+        np.testing.assert_allclose(out.data[0, 1], -2.0)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+
+        def build():
+            x.zero_grad(), w.zero_grad(), b.zero_grad()
+            return (F.conv2d(x, w, b, stride=1, padding=1) ** 2).sum()
+
+        scalar_loss_grad_check(build, [x, w, b])
+
+
+class TestDepthwiseConv2d:
+    def test_output_shape(self):
+        x = Tensor(np.zeros((2, 4, 8, 8)))
+        w = Tensor(np.zeros((4, 1, 3, 3)))
+        assert F.depthwise_conv2d(x, w, padding=1).shape == (2, 4, 8, 8)
+        assert F.depthwise_conv2d(x, w, stride=2, padding=1).shape == (2, 4, 4, 4)
+
+    def test_channels_independent(self):
+        x_data = np.zeros((1, 2, 4, 4))
+        x_data[0, 0] = 1.0  # only channel 0 has signal
+        w = Tensor(np.ones((2, 1, 3, 3)))
+        out = F.depthwise_conv2d(Tensor(x_data), w, padding=1)
+        assert out.data[0, 1].max() == 0.0  # channel 1 untouched by channel 0
+        assert out.data[0, 0].max() > 0.0
+
+    def test_wrong_weight_shape_raises(self):
+        x = Tensor(np.zeros((1, 2, 4, 4)))
+        with pytest.raises(ValueError):
+            F.depthwise_conv2d(x, Tensor(np.zeros((2, 2, 3, 3))))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 1, 3, 3)), requires_grad=True)
+
+        def build():
+            x.zero_grad(), w.zero_grad()
+            return (F.depthwise_conv2d(x, w, padding=1) ** 2).sum()
+
+        scalar_loss_grad_check(build, [x, w])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x_data = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x_data), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x_data = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x_data), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_grad_goes_to_max_position(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_grad_uniform(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], 0.25)
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.ones((2, 3, 4, 4)) * 5.0)
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, 5.0)
+
+    def test_pad2d(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        out = F.pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == 0.0
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+
+class TestActivations:
+    def test_relu6_clips_high(self):
+        out = F.relu6(Tensor([-1.0, 3.0, 10.0]))
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_hardsigmoid_range(self):
+        x = Tensor(np.linspace(-10, 10, 50))
+        out = F.hardsigmoid(x).data
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert F.hardsigmoid(Tensor([0.0])).data[0] == pytest.approx(0.5)
+
+    def test_hardswish_zero_at_negative_saturation(self):
+        np.testing.assert_allclose(F.hardswish(Tensor([-5.0])).data, [0.0])
+
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_consistent_with_softmax(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+        np.testing.assert_allclose(F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10)
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(2).normal(size=(2, 4))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x)).data, F.softmax(Tensor(x + 100.0)).data, atol=1e-10
+        )
+
+    def test_channel_shuffle_permutes_channels(self):
+        x_data = np.arange(4, dtype=float).reshape(1, 4, 1, 1) * np.ones((1, 4, 2, 2))
+        out = F.channel_shuffle(Tensor(x_data), groups=2)
+        assert out.shape == x_data.shape
+        # After shuffling with 2 groups, channel order becomes [0, 2, 1, 3].
+        np.testing.assert_allclose(out.data[0, :, 0, 0], [0.0, 2.0, 1.0, 3.0])
+
+    def test_channel_shuffle_invalid_groups(self):
+        with pytest.raises(ValueError):
+            F.channel_shuffle(Tensor(np.zeros((1, 3, 2, 2))), groups=2)
+
+    def test_flatten(self):
+        out = F.flatten(Tensor(np.zeros((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(F.dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_training_scales_surviving_units(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.5, training=True, rng=rng).data
+        surviving = out[out > 0]
+        np.testing.assert_allclose(surviving, 2.0)
+        assert 0.3 < (out > 0).mean() < 0.7
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) == pytest.approx(np.log(4))
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.full((1, 3), -100.0)
+        logits[0, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([2]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient_check(self):
+        rng = np.random.default_rng(4)
+        logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        targets = np.array([0, 1, 2, 3, 0])
+
+        def build():
+            logits.zero_grad()
+            return F.cross_entropy(logits, targets)
+
+        scalar_loss_grad_check(build, [logits])
+
+    def test_bce_with_logits_matches_reference(self):
+        logits = np.array([[0.5, -1.0], [2.0, 0.0]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert float(loss.data) == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_gradient_check(self):
+        rng = np.random.default_rng(5)
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        targets = (rng.random((4, 3)) > 0.5).astype(float)
+
+        def build():
+            logits.zero_grad()
+            return F.binary_cross_entropy_with_logits(logits, targets)
+
+        scalar_loss_grad_check(build, [logits])
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([[1.0], [3.0]]))
+        loss = F.mse_loss(pred, np.array([[0.0], [0.0]]))
+        assert float(loss.data) == pytest.approx(5.0)
+
+    def test_mse_gradient(self):
+        pred = Tensor(np.array([[2.0]]), requires_grad=True)
+        F.mse_loss(pred, np.array([[0.0]])).backward()
+        np.testing.assert_allclose(pred.grad, [[4.0]])
+
+    def test_l1_loss_positive(self):
+        pred = Tensor(np.array([[1.0, -2.0]]))
+        loss = F.l1_loss(pred, np.array([[0.0, 0.0]]))
+        assert float(loss.data) == pytest.approx(1.5, rel=1e-4)

@@ -1,0 +1,211 @@
+"""Tests for layer modules: registration, state dicts, batch norm, sequencing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered(self):
+        layer = Linear(4, 3)
+        names = [name for name, _ in layer.named_parameters()]
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_module_parameters(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert len(layer.parameters()) == 1
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = Linear(3, 2)
+        out = model(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_modules_iterates_all(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        assert len(list(model.modules())) == 3  # Sequential + 2 children
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        src = Linear(5, 4, rng=np.random.default_rng(1))
+        dst = Linear(5, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(src.weight.data, dst.weight.data)
+        dst.load_state_dict(src.state_dict())
+        np.testing.assert_allclose(src.weight.data, dst.weight.data)
+
+    def test_state_dict_returns_copies(self):
+        layer = Linear(3, 2)
+        state = layer.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.allclose(layer.weight.data, 99.0)
+
+    def test_missing_key_raises(self):
+        layer = Linear(3, 2)
+        state = layer.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        layer = Linear(3, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_buffer_round_trip(self):
+        bn_src = BatchNorm2d(2)
+        bn_src(Tensor(np.random.default_rng(0).normal(size=(8, 2, 3, 3))))
+        bn_dst = BatchNorm2d(2)
+        bn_dst.load_state_dict(bn_src.state_dict())
+        np.testing.assert_allclose(
+            bn_dst.state_dict()["running_mean"], bn_src.state_dict()["running_mean"]
+        )
+
+    def test_nested_state_dict_keys(self):
+        model = Sequential(Conv2d(3, 4, 3), BatchNorm2d(4))
+        keys = set(model.state_dict())
+        assert "layer0.weight" in keys
+        assert "layer1.running_mean" in keys
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 2.0, size=(16, 3, 4, 4)))
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-6
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_running_stats_updated(self):
+        bn = BatchNorm2d(2)
+        before = bn.state_dict()["running_mean"].copy()
+        bn(Tensor(np.ones((4, 2, 3, 3)) * 10.0))
+        after = bn.state_dict()["running_mean"]
+        assert not np.allclose(before, after)
+        assert (after > 0).all()
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            bn(Tensor(rng.normal(3.0, 1.0, size=(16, 2, 4, 4))))
+        bn.eval()
+        out = bn(Tensor(np.full((1, 2, 4, 4), 3.0))).data
+        # An input equal to the long-run mean should normalize to ~0.
+        assert np.abs(out).max() < 0.3
+
+    def test_affine_parameters_trainable(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 2, 3, 3)))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_batchnorm1d(self):
+        bn = BatchNorm1d(5)
+        out = bn(Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(32, 5)))).data
+        assert abs(out.mean()) < 1e-6
+
+
+class TestIndividualLayers:
+    def test_linear_shapes(self):
+        out = Linear(6, 4)(Tensor(np.zeros((3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_conv_layer_shapes(self):
+        out = Conv2d(3, 8, 3, stride=2, padding=1)(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_depthwise_layer_shapes(self):
+        out = DepthwiseConv2d(4, 3, padding=1)(Tensor(np.zeros((2, 4, 6, 6))))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_maxpool_layer(self):
+        out = MaxPool2d(2)(Tensor(np.zeros((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_layer(self):
+        out = GlobalAvgPool2d()(Tensor(np.zeros((2, 5, 4, 4))))
+        assert out.shape == (2, 5)
+
+    def test_flatten_layer(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 2, 2))))
+        assert out.shape == (2, 12)
+
+    def test_identity(self):
+        x = Tensor(np.arange(4, dtype=float))
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+
+    def test_dropout_respects_training_flag(self):
+        layer = Dropout(0.9, seed=0)
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(layer(x).data, 1.0)
+
+    def test_sequential_iteration_and_len(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        assert len(model) == 2
+        assert isinstance(list(model)[1], ReLU)
+
+    def test_end_to_end_training_reduces_loss(self):
+        """A small Sequential model should fit a separable toy problem."""
+        from repro.nn import functional as F
+        from repro.nn.optim import SGD
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 4))
+        y = (x[:, 0] > 0).astype(int)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        opt = SGD(model.parameters(), lr=0.5)
+        first_loss = None
+        for _ in range(30):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = float(loss.data)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first_loss * 0.5

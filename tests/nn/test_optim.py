@@ -1,0 +1,141 @@
+"""Tests for SGD, momentum, weight decay, and the FedProx proximal optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.optim import SGD, ProximalSGD
+from repro.nn.tensor import Tensor
+
+
+def make_param(values) -> Parameter:
+    p = Parameter(np.asarray(values, dtype=float))
+    return p
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, 1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.9])
+
+    def test_skips_params_without_grad(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_weight_decay_shrinks_weights(self):
+        p = make_param([10.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] < 10.0
+
+    def test_momentum_accelerates(self):
+        # With a constant gradient, momentum accumulates larger steps.
+        plain = make_param([0.0])
+        momentum = make_param([0.0])
+        opt_plain = SGD([plain], lr=0.1)
+        opt_momentum = SGD([momentum], lr=0.1, momentum=0.9)
+        for _ in range(5):
+            plain.grad = np.array([1.0])
+            momentum.grad = np.array([1.0])
+            opt_plain.step()
+            opt_momentum.step()
+        assert momentum.data[0] < plain.data[0]  # moved further in the -grad direction
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, momentum=1.5)
+
+    def test_invalid_weight_decay(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, weight_decay=-1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            p.grad = 2 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+
+class TestProximalSGD:
+    def test_pulls_towards_reference(self):
+        p = make_param([0.0])
+        opt = ProximalSGD([p], lr=0.1, mu=1.0)
+        opt.set_reference([np.array([10.0])])
+        for _ in range(50):
+            p.grad = np.array([0.0])  # no task gradient; only proximal pull
+            opt.step()
+        # Proximal gradient mu*(w - ref) pushes w *away from* ref in gradient
+        # descent only if w > ref; starting at 0 below ref=10 it moves toward it.
+        assert p.data[0] > 0.0
+
+    def test_mu_zero_equals_sgd(self):
+        p1, p2 = make_param([1.0]), make_param([1.0])
+        prox = ProximalSGD([p1], lr=0.1, mu=0.0)
+        prox.set_reference([np.array([100.0])])
+        sgd = SGD([p2], lr=0.1)
+        p1.grad = np.array([1.0])
+        p2.grad = np.array([1.0])
+        prox.step()
+        sgd.step()
+        np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_limits_drift_from_reference(self):
+        """With a large mu the iterate stays closer to the reference point."""
+        def run(mu):
+            p = make_param([0.0])
+            opt = ProximalSGD([p], lr=0.1, mu=mu)
+            opt.set_reference([np.array([0.0])])
+            for _ in range(20):
+                p.grad = np.array([-1.0])  # constant pull away from the reference
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(mu=10.0) < run(mu=0.0)
+
+    def test_reference_length_mismatch(self):
+        opt = ProximalSGD([make_param([1.0])], lr=0.1, mu=0.1)
+        with pytest.raises(ValueError):
+            opt.set_reference([np.array([1.0]), np.array([2.0])])
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            ProximalSGD([make_param([1.0])], lr=0.1, mu=-0.1)
+
+    def test_works_through_model_training(self):
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(0)
+        model = Linear(4, 2, rng=rng)
+        reference = [p.data.copy() for p in model.parameters()]
+        opt = ProximalSGD(model.parameters(), lr=0.1, mu=0.5)
+        opt.set_reference(reference)
+        x = rng.normal(size=(8, 4))
+        y = rng.integers(0, 2, size=8)
+        for _ in range(5):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        # Training changed the weights but they stay in a bounded neighbourhood.
+        drift = sum(np.abs(p.data - r).max() for p, r in zip(model.parameters(), reference))
+        assert 0 < drift < 10.0

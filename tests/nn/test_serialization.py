@@ -1,0 +1,135 @@
+"""Tests for state-dict arithmetic and flattening (the FL weight-exchange layer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import Linear, Sequential, ReLU
+from repro.nn.serialization import (
+    add_states,
+    average_states,
+    get_weights,
+    scale_state,
+    set_weights,
+    state_dict_to_vector,
+    state_norm,
+    subtract_states,
+    vector_to_state_dict,
+    zeros_like_state,
+)
+
+
+@pytest.fixture
+def model():
+    return Sequential(Linear(4, 8, rng=np.random.default_rng(0)), ReLU(),
+                      Linear(8, 2, rng=np.random.default_rng(1)))
+
+
+class TestGetSetWeights:
+    def test_round_trip(self, model):
+        state = get_weights(model)
+        other = Sequential(Linear(4, 8, rng=np.random.default_rng(7)), ReLU(),
+                           Linear(8, 2, rng=np.random.default_rng(8)))
+        set_weights(other, state)
+        for key, value in get_weights(other).items():
+            np.testing.assert_allclose(value, state[key])
+
+    def test_get_weights_returns_copies(self, model):
+        state = get_weights(model)
+        state["layer0.weight"][...] = 42.0
+        assert not np.allclose(get_weights(model)["layer0.weight"], 42.0)
+
+
+class TestVectorConversion:
+    def test_round_trip(self, model):
+        state = get_weights(model)
+        vector = state_dict_to_vector(state)
+        rebuilt = vector_to_state_dict(vector, state)
+        for key in state:
+            np.testing.assert_allclose(rebuilt[key], state[key])
+
+    def test_vector_length(self, model):
+        state = get_weights(model)
+        assert state_dict_to_vector(state).size == sum(v.size for v in state.values())
+
+    def test_length_mismatch_raises(self, model):
+        state = get_weights(model)
+        with pytest.raises(ValueError):
+            vector_to_state_dict(np.zeros(3), state)
+
+    def test_empty_state(self):
+        assert state_dict_to_vector({}).size == 0
+
+
+class TestStateArithmetic:
+    def test_add_subtract_inverse(self, model):
+        a = get_weights(model)
+        b = scale_state(a, 0.5)
+        np.testing.assert_allclose(
+            state_dict_to_vector(subtract_states(add_states(a, b), b)),
+            state_dict_to_vector(a),
+        )
+
+    def test_zeros_like(self, model):
+        zeros = zeros_like_state(get_weights(model))
+        assert all(np.all(value == 0) for value in zeros.values())
+
+    def test_scale(self):
+        state = {"w": np.array([2.0, 4.0])}
+        np.testing.assert_allclose(scale_state(state, 0.5)["w"], [1.0, 2.0])
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(KeyError):
+            add_states({"a": np.zeros(2)}, {"b": np.zeros(2)})
+
+    def test_state_norm(self):
+        state = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert state_norm(state) == pytest.approx(5.0)
+
+
+class TestAverageStates:
+    def test_uniform_average(self):
+        states = [{"w": np.array([0.0])}, {"w": np.array([2.0])}]
+        np.testing.assert_allclose(average_states(states)["w"], [1.0])
+
+    def test_weighted_average(self):
+        states = [{"w": np.array([0.0])}, {"w": np.array([10.0])}]
+        np.testing.assert_allclose(average_states(states, [3, 1])["w"], [2.5])
+
+    def test_weights_normalized(self):
+        states = [{"w": np.array([1.0])}, {"w": np.array([3.0])}]
+        np.testing.assert_allclose(
+            average_states(states, [10, 10])["w"], average_states(states, [1, 1])["w"]
+        )
+
+    def test_single_state_identity(self):
+        state = {"w": np.array([1.5, 2.5])}
+        np.testing.assert_allclose(average_states([state])["w"], state["w"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_states([])
+
+    def test_bad_weights_length(self):
+        with pytest.raises(ValueError):
+            average_states([{"w": np.zeros(1)}], [1, 2])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            average_states([{"w": np.zeros(1)}, {"w": np.ones(1)}], [0, 0])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_average_between_min_and_max(self, values):
+        states = [{"w": np.array([v])} for v in values]
+        avg = average_states(states)["w"][0]
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=5),
+           st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_average_of_identical_states_is_identity(self, values, weight):
+        state = {"w": np.asarray(values)}
+        avg = average_states([state, state, state], [weight, weight, weight])
+        np.testing.assert_allclose(avg["w"], state["w"], atol=1e-9)

@@ -1,0 +1,335 @@
+"""Tests for the autograd Tensor engine: forward values and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = fn()
+        x[idx] = orig - eps
+        f_minus = fn()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_construction_casts_dtype(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+
+class TestArithmeticForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 1.0
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_radd(self):
+        out = 1.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_sub(self):
+        out = Tensor([3.0]) - Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_rsub(self):
+        out = 5.0 - Tensor([2.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        np.testing.assert_allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([8.0]) / Tensor([2.0])
+        np.testing.assert_allclose(out.data, [4.0])
+
+    def test_rdiv(self):
+        out = 8.0 / Tensor([2.0])
+        np.testing.assert_allclose(out.data, [4.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_matmul(self):
+        a = Tensor(np.eye(2) * 2)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, [[2.0, 4.0], [6.0, 8.0]])
+
+    def test_broadcast_add(self):
+        out = Tensor(np.ones((2, 3))) + Tensor(np.ones((3,)))
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, 2.0)
+
+
+class TestGradients:
+    def test_add_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_div_grad(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_pow_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_matmul_grad_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.normal(size=(3, 4))
+        b_data = rng.normal(size=(4, 2))
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+
+        num_a = numerical_grad(lambda: float((a_data @ b_data).sum()), a_data)
+        num_b = numerical_grad(lambda: float((a_data @ b_data).sum()), b_data)
+        np.testing.assert_allclose(a.grad, num_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, num_b, atol=1e-5)
+
+    def test_broadcast_grad_sums_over_broadcast_dims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_reuse_of_tensor_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        ((a * a) + a).sum().backward()  # d/da (a^2 + a) = 2a + 1 = 5
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_exp_log_grad(self):
+        a = Tensor([0.5, 1.5], requires_grad=True)
+        (a.exp() + a.log()).sum().backward()
+        expected = np.exp([0.5, 1.5]) + 1.0 / np.array([0.5, 1.5])
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_relu_grad(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_sigmoid_grad(self):
+        a = Tensor([0.0], requires_grad=True)
+        a.sigmoid().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_tanh_grad(self):
+        a = Tensor([0.0], requires_grad=True)
+        a.tanh().sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_clip_grad(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_sum_axis_keepdims_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [0.25] * 4)
+
+    def test_max_grad_routes_to_argmax(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_grad_splits_ties(self):
+        a = Tensor([2.0, 2.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+    def test_reshape_grad(self):
+        a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a.T * Tensor(np.arange(6, dtype=float).reshape(3, 2))).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_grad(self):
+        a = Tensor(np.arange(4, dtype=float), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_getitem_fancy_index_grad_accumulates(self):
+        a = Tensor(np.arange(3, dtype=float), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+
+class TestGraphControl:
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_no_grad_restores_state(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_non_requiring_parents_produce_detached_output(self):
+        out = Tensor([1.0]) * Tensor([2.0])
+        assert not out.requires_grad
+
+
+class TestConcatenateStack:
+    def test_concatenate_forward(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0])
+        np.testing.assert_allclose(concatenate([a, b]).data, [1.0, 2.0, 3.0])
+
+    def test_concatenate_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (concatenate([a, b]) * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0])
+
+    def test_concatenate_axis1(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack_forward_and_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_add_matches_numpy(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        np.testing.assert_allclose((Tensor(arr) + Tensor(arr)).data, arr + arr)
+
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_grad_is_ones(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        t = Tensor(arr, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(arr))
+
+    @given(st.lists(st.floats(0.1, 5.0), min_size=1, max_size=10),
+           st.floats(0.5, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_pow_grad_matches_analytic(self, values, exponent):
+        arr = np.asarray(values, dtype=np.float64)
+        t = Tensor(arr, requires_grad=True)
+        (t ** exponent).sum().backward()
+        np.testing.assert_allclose(t.grad, exponent * arr ** (exponent - 1), rtol=1e-9)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_mul_grad_symmetry(self, rows, cols):
+        rng = np.random.default_rng(rows * 10 + cols)
+        a_data = rng.normal(size=(rows, cols))
+        b_data = rng.normal(size=(rows, cols))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b_data)
+        np.testing.assert_allclose(b.grad, a_data)
