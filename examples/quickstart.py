@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: train a federated model over heterogeneous devices with HeteroSwitch.
+"""Quickstart: declare a federated experiment as a RunSpec and execute it.
 
-This example walks through the library's core loop in a few dozen lines:
+This example walks through the library's declarative API in a few dozen lines:
 
-1. capture a synthetic per-device dataset (the same scenes photographed by
-   different simulated smartphones, Table 1 of the paper),
-2. build an FL client population following the devices' market shares,
-3. run FedAvg and HeteroSwitch on the same population,
-4. compare the fairness / domain-generalization metrics of Table 4.
+1. describe an experiment — strategy, dataset, scale, seeds — as a
+   :class:`repro.runtime.RunSpec` (pure data; it round-trips through JSON),
+2. extend a component registry with a custom callback and attach it by name,
+3. execute the spec with the :class:`repro.runtime.Runner`, which assembles
+   the model, client population and FL loop from the registries,
+4. compare FedAvg and HeteroSwitch on the Table 4 fairness / DG metrics.
 
 Run it with:  python examples/quickstart.py
 It finishes in well under a minute on a laptop CPU.
@@ -15,69 +16,65 @@ It finishes in well under a minute on a laptop CPU.
 
 from __future__ import annotations
 
-from repro.data import build_client_specs, build_device_datasets
-from repro.devices import market_shares
 from repro.eval import format_table
-from repro.fl import FLConfig, FederatedSimulation, create_strategy
-from repro.nn.models import SimpleMLP
+from repro.fl import Callback
+from repro.runtime import CALLBACK_REGISTRY, Runner, RunSpec, STRATEGY_REGISTRY
+
+
+class RoundWatcher(Callback):
+    """A custom observer: records per-round training losses into the history."""
+
+    def __init__(self) -> None:
+        self.losses = []
+
+    def on_round_end(self, sim, record, results) -> None:
+        self.losses.append(record.mean_train_loss)
+
+    def on_run_end(self, sim, history) -> None:
+        history.metadata["loss_trajectory"] = list(self.losses)
 
 
 def main() -> None:
     # ------------------------------------------------------------------ #
-    # 1. Per-device datasets: the same scene pool captured by each device.
+    # 1. The experiment as data: everything is a registry key or a plain
+    #    value, so the same dict could live in a JSON file
+    #    (see `python -m repro bench --spec spec.json`).
     # ------------------------------------------------------------------ #
-    devices = ["Pixel5", "Pixel2", "S22", "S9", "S6", "G7"]
-    print(f"Capturing synthetic scenes with {len(devices)} device profiles ...")
-    bundle = build_device_datasets(
-        samples_per_class_train=6,
-        samples_per_class_test=4,
-        num_classes=6,
-        image_size=16,
-        scene_size=32,
-        devices=devices,
-        seed=0,
+    CALLBACK_REGISTRY.replace("round_watcher", RoundWatcher)
+    spec = RunSpec(
+        strategy="fedavg",
+        dataset="device_capture",
+        dataset_kwargs={"devices": ["Pixel5", "Pixel2", "S22", "S9", "S6", "G7"]},
+        scale="smoke",
+        config_overrides={"num_rounds": 12, "learning_rate": 0.02},
+        callbacks={"round_watcher": {}},
+        seeds=[0],
     )
+    print("RunSpec JSON round-trip intact:",
+          RunSpec.from_json(spec.to_json()) == spec)
+    print(f"Available strategies: {', '.join(STRATEGY_REGISTRY.available())}")
 
     # ------------------------------------------------------------------ #
-    # 2. FL client population weighted by market share (Table 1).
+    # 2-4. Run FedAvg (baseline) and HeteroSwitch (the paper's method) on
+    #      the same population; the Runner memoises the dataset build.
     # ------------------------------------------------------------------ #
-    shares = {name: share for name, share in market_shares().items() if name in devices}
-    clients = build_client_specs(bundle.train, num_clients=24, shares=shares, seed=0)
-    print(f"Built {len(clients)} clients "
-          f"({sum(1 for c in clients if c.device in ('S9', 'S6'))} on dominant devices).")
-
-    config = FLConfig(
-        num_clients=24,
-        clients_per_round=8,
-        num_rounds=12,
-        local_epochs=1,
-        batch_size=6,
-        learning_rate=0.02,
-        seed=0,
-    )
-
-    def model_fn() -> SimpleMLP:
-        return SimpleMLP(3 * bundle.image_size * bundle.image_size, bundle.num_classes,
-                         hidden=32, seed=0)
-
-    # ------------------------------------------------------------------ #
-    # 3. Run FedAvg (baseline) and HeteroSwitch (the paper's method).
-    # ------------------------------------------------------------------ #
+    runner = Runner()
     rows = []
     for method in ("fedavg", "heteroswitch"):
-        print(f"Running {method} for {config.num_rounds} rounds ...")
-        simulation = FederatedSimulation(model_fn, clients, bundle.test,
-                                         create_strategy(method), config)
-        history = simulation.run()
+        variant = spec.with_overrides(strategy=method, name=method)
+        print(f"Running {method} for 12 rounds ...")
+        result = runner.run(variant)
+        history = result.history
         summary = history.summary
-        rows.append([method, summary["worst_case"], summary["variance"], summary["average"]])
-        switched = sum(record.num_switch1 for record in history.rounds)
+        rows.append([method, summary["worst_case"], summary["variance"],
+                     summary["average"]])
+        losses = history.metadata["loss_trajectory"]
+        print(f"  train loss {losses[0]:.3f} -> {losses[-1]:.3f} "
+              f"over {len(history.rounds)} rounds")
         if method == "heteroswitch":
-            print(f"  HeteroSwitch applied its ISP transformation to {switched} client updates.")
+            print(f"  HeteroSwitch applied its ISP transformation to "
+                  f"{history.metadata['total_switch1']} client updates.")
 
-    # ------------------------------------------------------------------ #
-    # 4. Report the Table 4 style metrics.
-    # ------------------------------------------------------------------ #
     print()
     print(format_table(
         ["method", "worst-case accuracy (DG)", "variance (fairness)", "average accuracy"],

@@ -10,6 +10,8 @@ Taming System-Induced Data Heterogeneity in Federated Learning" (MLSys 2024):
 * :mod:`repro.fl`      — federated-learning framework and baseline strategies.
 * :mod:`repro.core`    — the HeteroSwitch method (bias measurement, switching,
   random ISP transforms, SWAD).
+* :mod:`repro.runtime` — declarative RunSpec API, component registries and the
+  composable experiment Runner.
 * :mod:`repro.eval`    — experiment runners that regenerate every table/figure.
 """
 

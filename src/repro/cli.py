@@ -5,15 +5,21 @@ Usage (after installation)::
     python -m repro list
     python -m repro run table4 --scale smoke --output results/
     python -m repro run-all --scale smoke --output results/
+    python -m repro bench --spec spec.json --output results/
+    python -m repro sweep --strategies fedavg heteroswitch --seeds 0 1 2
 
-``list`` prints every experiment id with its description; ``run`` regenerates
-one table/figure and prints it as markdown (optionally writing a report
-directory with CSVs); ``run-all`` iterates over every experiment.
+``list`` prints every experiment id plus the component registries; ``run``
+regenerates one table/figure and prints it as markdown (optionally writing a
+report directory with CSVs); ``run-all`` iterates over every experiment.
+``bench`` executes one declarative :class:`~repro.runtime.RunSpec` (from a
+JSON file and/or CLI overrides); ``sweep`` replicates a spec over a strategy
+grid and multiple seeds and reports mean ± std summaries.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -22,6 +28,15 @@ from .eval.experiments import EXPERIMENTS, run_experiment
 from .eval.reporting import write_report
 from .eval.results import ExperimentResult
 from .eval.scale import SCALES
+from .runtime import (
+    CALLBACK_REGISTRY,
+    DATASET_REGISTRY,
+    MODEL_REGISTRY,
+    SAMPLER_REGISTRY,
+    STRATEGY_REGISTRY,
+    Runner,
+    RunSpec,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -42,6 +57,14 @@ _DESCRIPTIONS = {
     "fig9": "Fig. 9  — FL hyperparameter sensitivity",
 }
 
+_REGISTRIES = {
+    "strategies": STRATEGY_REGISTRY,
+    "models": MODEL_REGISTRY,
+    "datasets": DATASET_REGISTRY,
+    "samplers": SAMPLER_REGISTRY,
+    "callbacks": CALLBACK_REGISTRY,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
@@ -51,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser("list", help="list available experiments and registries")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
@@ -67,7 +90,84 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument("--output", default=None,
                             help="directory to write the combined report into")
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="execute one declarative RunSpec (JSON file and/or flags)")
+    _add_spec_arguments(bench_parser)
+    bench_parser.add_argument("--output", default=None,
+                              help="directory to write a markdown report and CSV into")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="replicate a RunSpec over strategies x seeds")
+    _add_spec_arguments(sweep_parser)
+    sweep_parser.add_argument("--strategies", nargs="+", default=None,
+                              choices=sorted(STRATEGY_REGISTRY),
+                              help="strategy grid (default: the spec's strategy)")
+    sweep_parser.add_argument("--output", default=None,
+                              help="directory to write a markdown report and CSV into")
     return parser
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``bench`` and ``sweep`` for building/overriding a spec."""
+    parser.add_argument("--spec", default=None,
+                        help="path to a RunSpec JSON file (default: a fresh spec)")
+    parser.add_argument("--strategy", default=None, choices=sorted(STRATEGY_REGISTRY))
+    parser.add_argument("--dataset", default=None, choices=sorted(DATASET_REGISTRY))
+    parser.add_argument("--model", default=None, choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--sampler", default=None, choices=sorted(SAMPLER_REGISTRY))
+    parser.add_argument("--scale", default=None, choices=sorted(SCALES))
+    parser.add_argument("--seeds", nargs="+", type=int, default=None,
+                        help="seeds to replicate over (default: the spec's seeds)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the number of communication rounds")
+
+
+class SpecError(Exception):
+    """A RunSpec could not be assembled from the CLI arguments."""
+
+
+def _build_spec(args: argparse.Namespace) -> RunSpec:
+    """Assemble the RunSpec from an optional JSON file plus CLI overrides.
+
+    Raises :class:`SpecError` with a user-facing message (no traceback) when
+    the spec file is missing, malformed, or references unknown registry keys.
+    """
+    try:
+        spec = RunSpec.load(args.spec) if args.spec else RunSpec()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec file {args.spec} is not valid JSON: {exc}") from exc
+    except (KeyError, ValueError) as exc:
+        raise SpecError(f"invalid spec {args.spec}: {_message(exc)}") from exc
+    try:
+        return _apply_spec_overrides(spec, args)
+    except (KeyError, ValueError) as exc:
+        raise SpecError(f"invalid spec after CLI overrides: {_message(exc)}") from exc
+
+
+def _apply_spec_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
+    overrides = {}
+    for attribute in ("strategy", "dataset", "model", "sampler", "scale", "seeds"):
+        value = getattr(args, attribute)
+        if value is not None:
+            overrides[attribute] = value
+    if args.rounds is not None:
+        overrides["config_overrides"] = {**spec.config_overrides, "num_rounds": args.rounds}
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _message(exc: Exception) -> str:
+    """KeyError reprs quote their argument; unwrap for clean CLI output."""
+    return exc.args[0] if exc.args else str(exc)
+
+
+def _emit(result: ExperimentResult, output: Optional[str]) -> None:
+    print(result.to_markdown())
+    if output:
+        report = write_report([result], output)
+        print(f"Report written to {report}")
 
 
 def _run_one(experiment_id: str, scale: str, seed: int) -> ExperimentResult:
@@ -85,9 +185,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        print("experiments:")
         for experiment_id in EXPERIMENTS:
             description = _DESCRIPTIONS.get(experiment_id, "")
-            print(f"{experiment_id:<8s} {description}")
+            print(f"  {experiment_id:<8s} {description}")
+        for kind, registry in _REGISTRIES.items():
+            print(f"{kind}: {', '.join(registry.available())}")
         return 0
 
     if args.command == "run":
@@ -104,6 +207,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.output:
             report = write_report(results, args.output)
             print(f"Report written to {report}")
+        return 0
+
+    if args.command == "bench":
+        try:
+            spec = _build_spec(args)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        start = time.time()
+        result = Runner().run(spec).to_experiment_result("bench")
+        elapsed = time.time() - start
+        _emit(result, args.output)
+        print(f"\n[bench '{spec.label}' completed in {elapsed:.1f}s "
+              f"over {len(spec.seeds)} seed(s)]")
+        return 0
+
+    if args.command == "sweep":
+        try:
+            spec = _build_spec(args)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        strategies = args.strategies or [spec.strategy]
+        runner = Runner()
+        rows: List[List[object]] = []
+        scalars = {}
+        for strategy in strategies:
+            try:
+                variant = spec.with_overrides(strategy=strategy, name=strategy)
+            except (KeyError, ValueError) as exc:
+                print(f"error: {_message(exc)}", file=sys.stderr)
+                return 2
+            run_result = runner.run(variant)
+            for seed, summary in zip(run_result.seeds, run_result.per_seed_summaries()):
+                rows.append([strategy, seed, summary["worst_case"],
+                             summary["variance"], summary["average"]])
+            for key, value in run_result.summary.items():
+                if key != "num_seeds":
+                    scalars[f"{strategy}_{key}"] = value
+        result = ExperimentResult(
+            experiment_id="sweep",
+            description=f"RunSpec sweep over strategies {list(strategies)} "
+                        f"x seeds {list(spec.seeds)}",
+            headers=["strategy", "seed", "worst_case", "variance", "average"],
+            rows=rows,
+            scalars=scalars,
+            metadata={"spec": spec.to_dict(), "strategies": list(strategies)},
+        )
+        _emit(result, args.output)
         return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -15,8 +15,6 @@ import numpy as np
 
 from ..isp.transforms import (
     Compose,
-    GaussianNoise,
-    RandomAffine,
     RandomGamma,
     RandomGaussianFilter1D,
     RandomWhiteBalance,

@@ -17,7 +17,7 @@ structure rather than memorise single images.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -5,6 +5,12 @@
 * :func:`table6_flair`               — Table 6: FLAIR-like multi-label evaluation.
 * :func:`fig8_synthetic_cifar`       — Fig. 8: synthetic-CIFAR per-device accuracy.
 * :func:`ecg_heart_rate`             — Section 6.6: ECG heart-rate deviation.
+
+Tables 4 and 5 are expressed as declarative :class:`~repro.runtime.RunSpec`
+runs through the :class:`~repro.runtime.Runner` (one spec per table row); the
+remaining runners still use the legacy :func:`run_fl_method` engine, which is
+kept both as a thin migration shim and as the reference the runtime's
+equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -14,18 +20,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.transforms import ecg_transform
-from ..data.capture import build_device_datasets
 from ..data.cifar_synthetic import SyntheticCifarConfig, build_synthetic_cifar
 from ..data.ecg import build_ecg_datasets
 from ..data.flair_synthetic import FlairConfig, build_flair_dataset
 from ..data.partition import build_client_specs
-from ..devices.profiles import DEVICE_NAMES, market_shares
+from ..devices.profiles import DEVICE_NAMES
 from ..fl.config import FLConfig
-from ..fl.metrics import accuracy_variance, heart_rate_deviation, mean_value, worst_case
+from ..fl.metrics import accuracy_variance, mean_value, worst_case
 from ..fl.simulation import FederatedSimulation, FLHistory
 from ..fl.strategies import create_strategy
-from ..fl.training import evaluate_metric
-from ..nn.tensor import Tensor, no_grad
 from .factories import make_model_factory
 from .results import ExperimentResult
 from .scale import ExperimentScale, get_scale
@@ -98,29 +101,30 @@ def table4_main_evaluation(
     """Table 4: worst-case accuracy (DG), variance and average accuracy (fairness).
 
     Clients follow the Table 1 market shares; the global model is evaluated on
-    each device type's held-out set.
+    each device type's held-out set.  Each method is one declarative
+    :class:`~repro.runtime.RunSpec` executed by a shared
+    :class:`~repro.runtime.Runner` (the dataset is built once and memoised).
     """
+    from ..runtime import Runner, RunSpec, spec_scale  # late: runtime imports repro.eval
+
+    scale_arg = spec_scale(scale)
     scale = get_scale(scale)
     device_names = list(devices) if devices else DEVICE_NAMES
-    bundle = build_device_datasets(
-        samples_per_class_train=scale.samples_per_class_train,
-        samples_per_class_test=scale.samples_per_class_test,
-        num_classes=scale.num_classes,
-        image_size=scale.image_size,
-        scene_size=scale.scene_size,
-        devices=device_names,
-        seed=seed,
-    )
-    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
-    shares = {name: share for name, share in market_shares().items() if name in device_names}
+    runner = Runner()
 
     rows: List[List[object]] = []
     scalars: Dict[str, float] = {}
     per_method: Dict[str, Dict[str, float]] = {}
     for method in methods:
-        history = run_fl_method(method, factory, bundle.train, bundle.test, scale,
-                                shares=shares, seed=seed)
-        metrics = history.per_device_metric
+        spec = RunSpec(
+            name=f"table4/{method}",
+            strategy=method,
+            dataset="device_capture",
+            dataset_kwargs={"devices": device_names},
+            scale=scale_arg,
+            seeds=[seed],
+        )
+        metrics = runner.run(spec).history.per_device_metric
         per_method[method] = metrics
         worst = worst_case(metrics)
         variance = accuracy_variance(metrics)
@@ -150,29 +154,33 @@ def table5_model_architectures(
     devices: Optional[Sequence[str]] = None,
     seed: int = 0,
 ) -> ExperimentResult:
-    """Table 5: FedAvg vs HeteroSwitch across mobile-friendly model architectures."""
+    """Table 5: FedAvg vs HeteroSwitch across mobile-friendly model architectures.
+
+    Each (model, method) cell is one :class:`~repro.runtime.RunSpec`; the
+    shared :class:`~repro.runtime.Runner` builds the dataset once for the
+    whole grid.
+    """
+    from ..runtime import Runner, RunSpec, spec_scale  # late: runtime imports repro.eval
+
+    scale_arg = spec_scale(scale)
     scale = get_scale(scale)
     device_names = list(devices) if devices else DEVICE_NAMES
-    bundle = build_device_datasets(
-        samples_per_class_train=scale.samples_per_class_train,
-        samples_per_class_test=scale.samples_per_class_test,
-        num_classes=scale.num_classes,
-        image_size=scale.image_size,
-        scene_size=scale.scene_size,
-        devices=device_names,
-        seed=seed,
-    )
-    shares = {name: share for name, share in market_shares().items() if name in device_names}
+    runner = Runner()
 
     rows: List[List[object]] = []
     scalars: Dict[str, float] = {}
     for model_name in model_names:
-        factory = make_model_factory(scale, bundle.num_classes, bundle.image_size,
-                                     model_name=model_name, seed=seed)
         for method in methods:
-            history = run_fl_method(method, factory, bundle.train, bundle.test, scale,
-                                    shares=shares, seed=seed)
-            metrics = history.per_device_metric
+            spec = RunSpec(
+                name=f"table5/{model_name}/{method}",
+                strategy=method,
+                model=model_name,
+                dataset="device_capture",
+                dataset_kwargs={"devices": device_names},
+                scale=scale_arg,
+                seeds=[seed],
+            )
+            metrics = runner.run(spec).history.per_device_metric
             worst = worst_case(metrics)
             variance = accuracy_variance(metrics)
             average = mean_value(metrics)

@@ -8,6 +8,10 @@ Affine, Gaussian-noise, White-Balance and Gamma transformations at degrees 0.3
 to 0.9, and the model-quality degradation relative to the unperturbed test set
 is compared.  SWAD is expected to be the most robust overall, which motivates
 its use inside HeteroSwitch.
+
+Each training variant is a centralized-kind :class:`~repro.runtime.RunSpec`
+(``trainer_kwargs`` select the weight averager); the robustness grid evaluates
+the returned models on the shared, memoised test split.
 """
 
 from __future__ import annotations
@@ -16,17 +20,11 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..core.swad import SWAAverager, SWADAverager
-from ..core.transforms import default_isp_transform
-from ..data.dataset import ArrayDataset, hwc_to_nchw, train_test_split
-from ..data.scenes import generate_scene_dataset
 from ..fl.metrics import model_quality_degradation
-from ..fl.training import evaluate_metric
 from ..isp.transforms import GaussianNoise, RandomAffine, RandomGamma, RandomWhiteBalance
-from .centralized import evaluate_under_transform, train_centralized
-from .factories import make_model_factory
+from .centralized import evaluate_under_transform
 from .results import ExperimentResult
-from .scale import ExperimentScale, get_scale
+from .scale import ExperimentScale
 
 __all__ = ["fig7_swad_robustness", "TEST_TRANSFORMS"]
 
@@ -37,16 +35,6 @@ TEST_TRANSFORMS = {
     "white_balance": RandomWhiteBalance,
     "gamma": RandomGamma,
 }
-
-
-def _resize_batch(images: np.ndarray, size: int) -> np.ndarray:
-    """Nearest-neighbour downsample of an (N, H, W, C) batch to size x size."""
-    n, h, w, c = images.shape
-    if h == size and w == size:
-        return images
-    rows = np.linspace(0, h - 1, size).round().astype(int)
-    cols = np.linspace(0, w - 1, size).round().astype(int)
-    return images[:, rows][:, :, cols]
 
 
 def fig7_swad_robustness(
@@ -60,36 +48,31 @@ def fig7_swad_robustness(
     Returns one row per (training method, test transformation) with the mean
     quality degradation over the requested test degrees.
     """
-    scale = get_scale(scale)
-    # Original (pre-capture) dataset: the procedural scenes themselves.
-    scenes, labels = generate_scene_dataset(
-        scale.samples_per_class_train + scale.samples_per_class_test,
-        num_classes=scale.num_classes,
-        image_size=scale.scene_size,
-        seed=seed,
-    )
-    scenes = _resize_batch(scenes, scale.image_size)
-    dataset = ArrayDataset(hwc_to_nchw(scenes), labels)
-    train_set, test_set = train_test_split(dataset, test_fraction=0.3, seed=seed)
+    from ..runtime import Runner, RunSpec, spec_scale  # late: runtime imports repro.eval
 
-    factory = make_model_factory(scale, scale.num_classes, scale.image_size, seed=seed)
-    train_transform = default_isp_transform(wb_degree=train_degree, gamma_degree=train_degree)
-    batches_per_epoch = max(1, int(np.ceil(len(train_set) / scale.batch_size)))
-
+    scale_arg = spec_scale(scale)
+    runner = Runner()
     methods = {
-        "transform_only": dict(weight_averager=None, average_per_epoch=False),
-        "transform_swa": dict(weight_averager=SWAAverager(batches_per_epoch), average_per_epoch=True),
-        "transform_swad": dict(weight_averager=SWADAverager(), average_per_epoch=False),
+        "transform_only": "none",
+        "transform_swa": "swa",
+        "transform_swad": "swad",
     }
 
     rows: List[List[object]] = []
     per_method_mean: Dict[str, float] = {}
-    for method_name, kwargs in methods.items():
-        model = train_centralized(
-            factory(), train_set, epochs=scale.central_epochs, batch_size=scale.batch_size,
-            learning_rate=scale.learning_rate, transform=train_transform, seed=seed, **kwargs,
+    for method_name, averager in methods.items():
+        spec = RunSpec(
+            name=f"fig7/{method_name}",
+            kind="centralized",
+            dataset="scenes",
+            scale=scale_arg,
+            trainer_kwargs={"averager": averager, "transform_degree": train_degree},
+            seeds=[seed],
         )
-        clean_accuracy = evaluate_metric(model, test_set, "classification")
+        result = runner.run(spec)
+        model = result.models[0]
+        clean_accuracy = result.metrics[0]["scenes"]
+        test_set = runner.build_bundle(spec, seed).test["scenes"]
         method_degradations: List[float] = []
         for transform_name, transform_cls in TEST_TRANSFORMS.items():
             degradations = []
@@ -109,6 +92,6 @@ def fig7_swad_robustness(
         headers=["method", "test_transform", "clean_accuracy", "mean_degradation"],
         rows=rows,
         scalars={f"mean_degradation_{name}": value for name, value in per_method_mean.items()},
-        metadata={"scale": scale.name, "train_degree": train_degree,
+        metadata={"scale": spec.resolve_scale().name, "train_degree": train_degree,
                   "test_degrees": list(test_degrees)},
     )

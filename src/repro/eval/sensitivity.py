@@ -4,23 +4,17 @@ The paper sweeps learning rate, mini-batch size, local epochs and the number of
 communication rounds, and selects (0.1, 10, 1, 1000).  This runner repeats the
 sweep at simulation scale: each hyperparameter is varied in isolation around
 the scale preset's base configuration and the resulting average accuracy is
-reported.
+reported.  Every grid point is a declarative :class:`~repro.runtime.RunSpec`
+whose ``config_overrides`` carry the varied hyperparameters; one shared
+:class:`~repro.runtime.Runner` memoises the dataset across the whole sweep.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
-import numpy as np
-
-from ..data.capture import build_device_datasets
-from ..data.partition import build_client_specs
-from ..devices.profiles import DEVICE_NAMES, market_shares
-from ..fl.config import FLConfig
+from ..devices.profiles import DEVICE_NAMES
 from ..fl.metrics import mean_value
-from ..fl.simulation import FederatedSimulation
-from ..fl.strategies.base import FedAvg
-from .factories import make_model_factory
 from .results import ExperimentResult
 from .scale import ExperimentScale, get_scale
 
@@ -42,37 +36,31 @@ def fig9_hyperparameter_sensitivity(
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 9: average accuracy as each FL hyperparameter varies in isolation."""
+    from ..runtime import Runner, RunSpec, spec_scale  # late: runtime imports repro.eval
+
+    scale_arg = spec_scale(scale)
     scale = get_scale(scale)
     sweeps = dict(sweeps) if sweeps is not None else dict(DEFAULT_SWEEPS)
     device_names = list(devices) if devices else DEVICE_NAMES[:4]
-
-    bundle = build_device_datasets(
-        samples_per_class_train=scale.samples_per_class_train,
-        samples_per_class_test=scale.samples_per_class_test,
-        num_classes=scale.num_classes,
-        image_size=scale.image_size,
-        scene_size=scale.scene_size,
-        devices=device_names,
-        seed=seed,
-    )
-    factory = make_model_factory(scale, bundle.num_classes, bundle.image_size, seed=seed)
-    shares = {name: share for name, share in market_shares().items() if name in device_names}
-    clients = build_client_specs(bundle.train, num_clients=scale.num_clients, shares=shares,
-                                 seed=seed)
+    runner = Runner()
 
     def run_config(learning_rate: float, batch_size: int, local_epochs: int,
                    num_rounds: int) -> float:
-        config = FLConfig(
-            num_clients=scale.num_clients,
-            clients_per_round=min(scale.clients_per_round, scale.num_clients),
-            num_rounds=max(1, num_rounds),
-            local_epochs=local_epochs,
-            batch_size=batch_size,
-            learning_rate=learning_rate,
-            seed=seed,
+        spec = RunSpec(
+            name="fig9/fedavg",
+            strategy="fedavg",
+            dataset="device_capture",
+            dataset_kwargs={"devices": device_names},
+            scale=scale_arg,
+            config_overrides={
+                "learning_rate": learning_rate,
+                "batch_size": batch_size,
+                "local_epochs": local_epochs,
+                "num_rounds": max(1, num_rounds),
+            },
+            seeds=[seed],
         )
-        simulation = FederatedSimulation(factory, clients, bundle.test, FedAvg(), config)
-        return mean_value(simulation.run().per_device_metric)
+        return mean_value(runner.run(spec).history.per_device_metric)
 
     base = {
         "learning_rate": scale.learning_rate,

@@ -1,5 +1,15 @@
 """Federated-learning framework: clients, server loop, strategies and metrics."""
 
+from .callbacks import (
+    CALLBACK_REGISTRY,
+    Callback,
+    CallbackList,
+    EarlyStopping,
+    PeriodicEvaluation,
+    RoundLogger,
+    SwitchTelemetry,
+    create_callback,
+)
 from .config import FLConfig
 from .metrics import (
     accuracy,
@@ -11,6 +21,13 @@ from .metrics import (
     model_quality_degradation,
     summarize_per_device,
     worst_case,
+)
+from .sampling import (
+    SAMPLER_REGISTRY,
+    ClientSampler,
+    RoundRobinSampler,
+    UniformSampler,
+    create_sampler,
 )
 from .simulation import FederatedSimulation, FLHistory, RoundRecord
 from .strategies import (
@@ -46,6 +63,19 @@ __all__ = [
     "FederatedSimulation",
     "FLHistory",
     "RoundRecord",
+    "Callback",
+    "CallbackList",
+    "SwitchTelemetry",
+    "PeriodicEvaluation",
+    "EarlyStopping",
+    "RoundLogger",
+    "CALLBACK_REGISTRY",
+    "create_callback",
+    "ClientSampler",
+    "UniformSampler",
+    "RoundRobinSampler",
+    "SAMPLER_REGISTRY",
+    "create_sampler",
     "Strategy",
     "FLContext",
     "FedAvg",

@@ -1,0 +1,227 @@
+"""Observer/callback API for the federated simulation loop.
+
+:class:`~repro.fl.simulation.FederatedSimulation` used to hard-code its
+bookkeeping (periodic evaluation via ``config.eval_every``, HeteroSwitch
+switch counting).  Both are now ordinary :class:`Callback` instances, and any
+number of additional observers — early stopping, logging, custom telemetry —
+can be attached to a run without touching the loop itself.
+
+Hook order per run::
+
+    on_run_start
+      (per round) on_round_start -> on_round_end
+      (whenever the global model is evaluated) on_evaluate
+    on_run_end
+
+Callbacks receive the simulation instance, so they can read the config,
+trigger an evaluation (``sim.evaluate()``), request a graceful stop
+(``sim.request_stop()``), or write run-level results into the history
+(``sim.history``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..registry import Registry
+from .training import ClientResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulation imports us)
+    from .simulation import FederatedSimulation, FLHistory, RoundRecord
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "SwitchTelemetry",
+    "PeriodicEvaluation",
+    "EarlyStopping",
+    "RoundLogger",
+    "CALLBACK_REGISTRY",
+    "create_callback",
+]
+
+
+class Callback:
+    """Base class: every hook is a no-op, subclasses override what they need."""
+
+    name = "callback"
+
+    def on_run_start(self, sim: "FederatedSimulation", history: "FLHistory") -> None:
+        """Called once before the first round."""
+
+    def on_round_start(self, sim: "FederatedSimulation", round_index: int) -> None:
+        """Called before clients are sampled for ``round_index``."""
+
+    def on_round_end(self, sim: "FederatedSimulation", record: "RoundRecord",
+                     results: List[ClientResult]) -> None:
+        """Called after aggregation, with the round's record and client results."""
+
+    def on_evaluate(self, sim: "FederatedSimulation", round_index: int,
+                    metrics: Dict[str, float]) -> None:
+        """Called whenever the global model is evaluated on the test sets."""
+
+    def on_run_end(self, sim: "FederatedSimulation", history: "FLHistory") -> None:
+        """Called once after the final evaluation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Optional[Iterable[Callback]] = None) -> None:
+        self.callbacks: List[Callback] = list(callbacks or [])
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_run_start(self, sim, history) -> None:
+        for callback in self.callbacks:
+            callback.on_run_start(sim, history)
+
+    def on_round_start(self, sim, round_index) -> None:
+        for callback in self.callbacks:
+            callback.on_round_start(sim, round_index)
+
+    def on_round_end(self, sim, record, results) -> None:
+        for callback in self.callbacks:
+            callback.on_round_end(sim, record, results)
+
+    def on_evaluate(self, sim, round_index, metrics) -> None:
+        for callback in self.callbacks:
+            callback.on_evaluate(sim, round_index, metrics)
+
+    def on_run_end(self, sim, history) -> None:
+        for callback in self.callbacks:
+            callback.on_run_end(sim, history)
+
+
+class SwitchTelemetry(Callback):
+    """Fills per-round HeteroSwitch switch counts and accumulates run totals.
+
+    This is the bookkeeping the simulation loop used to hard-code: it reads
+    each client result's ``metadata["switch"]`` decision and records how many
+    clients applied the ISP transform (switch 1) and SWAD (switch 2).
+    """
+
+    name = "switch_telemetry"
+
+    def __init__(self) -> None:
+        self.total_switch1 = 0
+        self.total_switch2 = 0
+
+    def on_round_end(self, sim, record, results) -> None:
+        switch_info = [result.metadata.get("switch") for result in results]
+        record.num_switch1 = sum(1 for s in switch_info if s is not None and s.switch1)
+        record.num_switch2 = sum(1 for s in switch_info if s is not None and s.switch2)
+        self.total_switch1 += record.num_switch1
+        self.total_switch2 += record.num_switch2
+
+    def on_run_end(self, sim, history) -> None:
+        history.metadata["total_switch1"] = self.total_switch1
+        history.metadata["total_switch2"] = self.total_switch2
+
+
+class PeriodicEvaluation(Callback):
+    """Evaluates the global model every ``every`` rounds (``config.eval_every``)."""
+
+    name = "eval_every"
+
+    def __init__(self, every: int) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.every = every
+
+    def on_round_end(self, sim, record, results) -> None:
+        if (record.round_index + 1) % self.every == 0:
+            metrics = sim.evaluate()
+            if sim.history is not None:
+                sim.history.evaluations.append(metrics)
+
+
+class EarlyStopping(Callback):
+    """Stops the run when the monitored loss stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        ``"ema_loss"`` (the L_EMA tracker HeteroSwitch consults) or
+        ``"mean_train_loss"``.
+    patience:
+        Number of consecutive non-improving rounds tolerated before stopping.
+    min_delta:
+        Minimum decrease that counts as an improvement.
+    """
+
+    name = "early_stopping"
+
+    _MONITORS = ("ema_loss", "mean_train_loss")
+
+    def __init__(self, monitor: str = "ema_loss", patience: int = 5,
+                 min_delta: float = 0.0) -> None:
+        if monitor not in self._MONITORS:
+            raise ValueError(f"monitor must be one of {self._MONITORS}, got '{monitor}'")
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = np.inf
+        self.stale_rounds = 0
+        self.stopped_at: Optional[int] = None
+
+    def on_run_start(self, sim, history) -> None:
+        # A callback instance may observe several runs; patience is per run.
+        self.best = np.inf
+        self.stale_rounds = 0
+        self.stopped_at = None
+
+    def on_round_end(self, sim, record, results) -> None:
+        value = getattr(record, self.monitor)
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.stale_rounds = 0
+            return
+        self.stale_rounds += 1
+        if self.stale_rounds >= self.patience:
+            self.stopped_at = record.round_index
+            sim.request_stop()
+
+    def on_run_end(self, sim, history) -> None:
+        if self.stopped_at is not None:
+            history.metadata["early_stopped_at"] = self.stopped_at
+
+
+class RoundLogger(Callback):
+    """Prints a one-line progress summary every ``every`` rounds."""
+
+    name = "round_logger"
+
+    def __init__(self, every: int = 1) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.every = every
+
+    def on_round_end(self, sim, record, results) -> None:
+        if (record.round_index + 1) % self.every == 0:
+            print(
+                f"[round {record.round_index + 1}] "
+                f"loss={record.mean_train_loss:.4f} ema={record.ema_loss:.4f} "
+                f"switch1={record.num_switch1} switch2={record.num_switch2}"
+            )
+
+
+CALLBACK_REGISTRY: Registry[Callback] = Registry("callback", {
+    "switch_telemetry": SwitchTelemetry,
+    "eval_every": PeriodicEvaluation,
+    "early_stopping": EarlyStopping,
+    "round_logger": RoundLogger,
+})
+
+
+def create_callback(name: str, **kwargs) -> Callback:
+    """Instantiate a callback by registry name."""
+    return CALLBACK_REGISTRY.create(name, **kwargs)

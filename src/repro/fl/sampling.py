@@ -1,0 +1,78 @@
+"""Pluggable per-round client samplers.
+
+The FL server samples ``K`` of the ``N`` clients each round.  Samplers derive
+every round's draw from ``(seed, round_index)`` rather than from a shared
+stateful RNG stream, so round ``t``'s participant set is a pure function of the
+run seed and the round number: replaying round ``t`` in isolation (resume,
+debugging, audit) selects exactly the clients the full run selected.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..registry import Registry
+
+__all__ = [
+    "ClientSampler",
+    "UniformSampler",
+    "RoundRobinSampler",
+    "SAMPLER_REGISTRY",
+    "create_sampler",
+]
+
+
+class ClientSampler:
+    """Interface: pick the indices of this round's participating clients."""
+
+    name = "sampler"
+
+    def select(self, num_clients: int, k: int, round_index: int, seed: int) -> List[int]:
+        """Return ``k`` distinct client indices for ``round_index``."""
+        raise NotImplementedError
+
+    def _validate(self, num_clients: int, k: int) -> None:
+        if not 0 < k <= num_clients:
+            raise ValueError(f"cannot sample {k} of {num_clients} clients")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class UniformSampler(ClientSampler):
+    """Uniform sampling without replacement (the paper's protocol)."""
+
+    name = "uniform"
+
+    def select(self, num_clients: int, k: int, round_index: int, seed: int) -> List[int]:
+        self._validate(num_clients, k)
+        rng = np.random.default_rng([seed, round_index])
+        return [int(i) for i in rng.choice(num_clients, size=k, replace=False)]
+
+
+class RoundRobinSampler(ClientSampler):
+    """Deterministic rotation through the client population.
+
+    Guarantees every client participates once per ``ceil(N / K)`` rounds;
+    useful for debugging and for full-participation sweeps.
+    """
+
+    name = "round_robin"
+
+    def select(self, num_clients: int, k: int, round_index: int, seed: int) -> List[int]:
+        self._validate(num_clients, k)
+        start = (round_index * k + seed) % num_clients
+        return [(start + offset) % num_clients for offset in range(k)]
+
+
+SAMPLER_REGISTRY: Registry[ClientSampler] = Registry("sampler", {
+    "uniform": UniformSampler,
+    "round_robin": RoundRobinSampler,
+})
+
+
+def create_sampler(name: str, **kwargs) -> ClientSampler:
+    """Instantiate a client sampler by registry name."""
+    return SAMPLER_REGISTRY.create(name, **kwargs)

@@ -6,6 +6,11 @@ broadcasts the global weights, collects locally-trained results via the active
 strategy, aggregates them, and updates the EMA of the aggregated training loss
 that HeteroSwitch's switching consults.  Per-device evaluation on held-out test
 sets produces the fairness / domain-generalization metrics of Section 6.
+
+Round bookkeeping (switch counting, periodic evaluation) is implemented with
+the observer API of :mod:`repro.fl.callbacks`; client selection is delegated to
+a pluggable :class:`~repro.fl.sampling.ClientSampler` whose draws depend only
+on ``(seed, round_index)`` so any round can be replayed in isolation.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ from ..data.dataset import ArrayDataset
 from ..data.partition import ClientSpec
 from ..nn.layers import Module
 from ..nn.serialization import get_weights, set_weights
+from .callbacks import Callback, CallbackList, PeriodicEvaluation, SwitchTelemetry
 from .config import FLConfig
 from .metrics import summarize_per_device
+from .sampling import ClientSampler, UniformSampler
 from .strategies.base import FLContext, Strategy
 from .training import ClientResult, evaluate_metric
 
@@ -51,6 +58,7 @@ class FLHistory:
     rounds: List[RoundRecord] = field(default_factory=list)
     per_device_metric: Dict[str, float] = field(default_factory=dict)
     evaluations: List[Dict[str, float]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -80,6 +88,12 @@ class FederatedSimulation:
         The FL algorithm under test.
     config:
         FL hyperparameters.
+    sampler:
+        Per-round client sampler; defaults to uniform-without-replacement
+        derived from ``(config.seed, round_index)``.
+    callbacks:
+        Extra observers attached to every :meth:`run` (the built-in switch
+        telemetry and ``eval_every`` bookkeeping are always present).
     """
 
     def __init__(
@@ -89,6 +103,8 @@ class FederatedSimulation:
         test_sets: Mapping[str, ArrayDataset],
         strategy: Strategy,
         config: FLConfig,
+        sampler: Optional[ClientSampler] = None,
+        callbacks: Sequence[Callback] = (),
     ) -> None:
         if not clients:
             raise ValueError("client population must not be empty")
@@ -105,6 +121,8 @@ class FederatedSimulation:
         self.test_sets = dict(test_sets)
         self.strategy = strategy
         self.config = config
+        self.sampler = sampler if sampler is not None else UniformSampler()
+        self.callbacks = list(callbacks)
 
         self._model = model_fn()
         self._global_state: StateDict = get_weights(self._model)
@@ -113,6 +131,9 @@ class FederatedSimulation:
             ema=EMALossTracker(alpha=config.ema_alpha),
             rng=np.random.default_rng(config.seed),
         )
+        self._history: Optional[FLHistory] = None
+        self._active_callbacks: Optional[CallbackList] = None
+        self._stop_requested = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,23 +141,43 @@ class FederatedSimulation:
         """Copy of the current global model weights."""
         return {key: value.copy() for key, value in self._global_state.items()}
 
+    @property
+    def history(self) -> Optional[FLHistory]:
+        """The history of the in-progress (or most recent) :meth:`run`."""
+        return self._history
+
     def global_model(self) -> Module:
         """A model instance loaded with the current global weights."""
         model = self.model_fn()
         set_weights(model, self._global_state)
         return model
 
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to stop gracefully after the current round."""
+        self._stop_requested = True
+
     # ------------------------------------------------------------------ #
     def select_clients(self, round_index: int) -> List[ClientSpec]:
-        """Uniformly sample ``K`` clients without replacement for this round."""
+        """Sample this round's participants via the configured sampler.
+
+        The draw is a pure function of ``(config.seed, round_index)``, so
+        replaying a single round reproduces the full run's selection.
+        """
         k = min(self.config.clients_per_round, len(self.clients))
-        indices = self.context.rng.choice(len(self.clients), size=k, replace=False)
-        del round_index  # sampling is stateless given the shared RNG stream
+        indices = self.sampler.select(len(self.clients), k, round_index, self.config.seed)
         return [self.clients[i] for i in indices]
 
-    def run_round(self, round_index: int) -> RoundRecord:
-        """Execute one communication round and return its record."""
+    def run_round(self, round_index: int, callbacks: Optional[CallbackList] = None) -> RoundRecord:
+        """Execute one communication round and return its record.
+
+        When called standalone (outside :meth:`run`), only switch telemetry is
+        attached — run-level bookkeeping like periodic evaluation belongs to
+        the run whose history it writes into.
+        """
+        if callbacks is None:
+            callbacks = CallbackList([SwitchTelemetry()])
         self.context.round_index = round_index
+        callbacks.on_round_start(self, round_index)
         selected = self.select_clients(round_index)
         results: List[ClientResult] = []
         for spec in selected:
@@ -148,26 +189,32 @@ class FederatedSimulation:
         self._global_state = self.strategy.aggregate(self._global_state, results, self.context)
         self.strategy.on_round_end(self.context, results)
 
-        switch_info = [r.metadata.get("switch") for r in results]
-        num_switch1 = sum(1 for s in switch_info if s is not None and s.switch1)
-        num_switch2 = sum(1 for s in switch_info if s is not None and s.switch2)
-        mean_loss = float(np.mean([r.train_loss for r in results]))
-        return RoundRecord(
+        record = RoundRecord(
             round_index=round_index,
             selected_clients=[spec.client_id for spec in selected],
-            mean_train_loss=mean_loss,
+            mean_train_loss=float(np.mean([r.train_loss for r in results])),
             ema_loss=float(self.context.ema.value),
-            num_switch1=num_switch1,
-            num_switch2=num_switch2,
         )
+        callbacks.on_round_end(self, record, results)
+        return record
 
     def evaluate(self) -> Dict[str, float]:
         """Evaluate the current global model on every per-device test set."""
         model = self.global_model()
-        return {
+        metrics = {
             device: evaluate_metric(model, dataset, self.config.task)
             for device, dataset in self.test_sets.items()
         }
+        if self._active_callbacks is not None:
+            self._active_callbacks.on_evaluate(self, self.context.round_index, metrics)
+        return metrics
+
+    def _default_callbacks(self) -> List[Callback]:
+        """The bookkeeping formerly hard-coded in the loop, as callbacks."""
+        defaults: List[Callback] = [SwitchTelemetry()]
+        if self.config.eval_every:
+            defaults.append(PeriodicEvaluation(self.config.eval_every))
+        return defaults
 
     def run(self, num_rounds: Optional[int] = None) -> FLHistory:
         """Run the full simulation and return its history."""
@@ -175,10 +222,19 @@ class FederatedSimulation:
         if rounds <= 0:
             raise ValueError("num_rounds must be positive")
         history = FLHistory(strategy=self.strategy.name)
-        for round_index in range(rounds):
-            record = self.run_round(round_index)
-            history.rounds.append(record)
-            if self.config.eval_every and (round_index + 1) % self.config.eval_every == 0:
-                history.evaluations.append(self.evaluate())
-        history.per_device_metric = self.evaluate()
+        callbacks = CallbackList([*self._default_callbacks(), *self.callbacks])
+        self._history = history
+        self._active_callbacks = callbacks
+        self._stop_requested = False
+        try:
+            callbacks.on_run_start(self, history)
+            for round_index in range(rounds):
+                record = self.run_round(round_index, callbacks=callbacks)
+                history.rounds.append(record)
+                if self._stop_requested:
+                    break
+            history.per_device_metric = self.evaluate()
+            callbacks.on_run_end(self, history)
+        finally:
+            self._active_callbacks = None
         return history

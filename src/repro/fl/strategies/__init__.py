@@ -8,8 +8,9 @@ method in Table 4 from one registry.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
+from ...registry import Registry
 from .base import FedAvg, FLContext, Strategy
 from .fedprox import FedProx
 from .qfedavg import QFedAvg
@@ -51,7 +52,7 @@ def _core_factory(name: str) -> Callable[..., Strategy]:
     return factory
 
 
-STRATEGY_REGISTRY: Dict[str, Callable[..., Strategy]] = {
+STRATEGY_REGISTRY: Registry[Strategy] = Registry("strategy", {
     "fedavg": FedAvg,
     "fedprox": FedProx,
     "qfedavg": QFedAvg,
@@ -59,13 +60,9 @@ STRATEGY_REGISTRY: Dict[str, Callable[..., Strategy]] = {
     "isp_transform": _core_factory("ISPTransformOnly"),
     "isp_swad": _core_factory("ISPTransformWithSWAD"),
     "heteroswitch": _core_factory("HeteroSwitch"),
-}
+})
 
 
 def create_strategy(name: str, **kwargs) -> Strategy:
     """Instantiate a strategy by name (the names used in Table 4's rows)."""
-    try:
-        factory = STRATEGY_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown strategy '{name}'; available: {sorted(STRATEGY_REGISTRY)}") from exc
-    return factory(**kwargs)
+    return STRATEGY_REGISTRY.create(name, **kwargs)

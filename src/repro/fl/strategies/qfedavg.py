@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from ...nn.serialization import add_states, scale_state, state_norm, subtract_states, zeros_like_state
 from ..training import ClientResult
 from .base import FLContext, StateDict, Strategy

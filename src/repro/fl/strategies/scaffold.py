@@ -13,9 +13,7 @@ client deltas for both weights and control variates.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-import numpy as np
+from typing import List
 
 from ...data.partition import ClientSpec
 from ...nn.layers import Module

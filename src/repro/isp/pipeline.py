@@ -13,7 +13,7 @@ Fig. 3 ablation sweeps over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List
 
 import numpy as np

@@ -17,7 +17,7 @@ are also usable on batches shaped ``(N, H, W, C)``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 from scipy import ndimage

@@ -10,8 +10,6 @@ simulations run in CPU time.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from .. import functional as F

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
+from ...registry import Registry
 from ..layers import Module
 from .mobilenet import MobileNetV3Small
 from .shufflenet import ShuffleNetV2
@@ -12,7 +11,7 @@ from .squeezenet import SqueezeNet
 
 __all__ = ["MODEL_REGISTRY", "create_model"]
 
-MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+MODEL_REGISTRY: Registry[Module] = Registry("model", {
     "mobilenetv3_small": MobileNetV3Small,
     "shufflenet_v2_x0_5": ShuffleNetV2,
     "squeezenet1_1": SqueezeNet,
@@ -21,7 +20,7 @@ MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
     "linear": LinearClassifier,
     "ecg_regressor": ECGRegressor,
     "multilabel_cnn": MultiLabelCNN,
-}
+})
 
 
 def create_model(name: str, **kwargs) -> Module:
@@ -32,10 +31,4 @@ def create_model(name: str, **kwargs) -> Module:
     KeyError
         If ``name`` is not registered; the error lists the available names.
     """
-    try:
-        factory = MODEL_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown model '{name}'; available: {sorted(MODEL_REGISTRY)}"
-        ) from exc
-    return factory(**kwargs)
+    return MODEL_REGISTRY.create(name, **kwargs)

@@ -8,7 +8,7 @@ the arithmetic used by aggregation rules (averaging, scaling, deltas).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 

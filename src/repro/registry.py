@@ -1,0 +1,84 @@
+"""Generic string-keyed registries for the library's pluggable components.
+
+Strategies, models, datasets, client samplers and simulation callbacks are all
+looked up by short string keys (the names used in the paper's tables and in
+:class:`repro.runtime.RunSpec`).  A :class:`Registry` behaves like a read-only
+mapping from name to factory, adds a ``register`` decorator for new entries,
+and raises ``KeyError`` messages that list the available keys — so a typo in a
+spec file fails with an actionable error instead of a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, Mapping, Optional, TypeVar
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry(Mapping, Generic[T]):
+    """A string-keyed registry of factories for one kind of component.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind (``"strategy"``, ``"model"`` ...); used
+        in error messages.
+    initial:
+        Optional mapping of initial entries.
+    """
+
+    def __init__(self, kind: str, initial: Optional[Mapping[str, Callable[..., T]]] = None) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., T]] = dict(initial or {})
+
+    # -- mapping protocol ------------------------------------------------- #
+    def __getitem__(self, name: str) -> Callable[..., T]:
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} '{name}'; available: {sorted(self._factories)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {sorted(self._factories)})"
+
+    # -- registration ----------------------------------------------------- #
+    def register(self, name: str, factory: Optional[Callable[..., T]] = None):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("x", make_x)``) or as a decorator
+        (``@registry.register("x")``).  Re-registering an existing name raises
+        so two components cannot silently shadow each other; use
+        :meth:`replace` for deliberate overrides.
+        """
+        def _add(fn: Callable[..., T]) -> Callable[..., T]:
+            if name in self._factories:
+                raise ValueError(f"{self.kind} '{name}' is already registered")
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def replace(self, name: str, factory: Callable[..., T]) -> None:
+        """Register ``factory`` under ``name``, overriding any existing entry."""
+        self._factories[name] = factory
+
+    # -- lookup ------------------------------------------------------------ #
+    def create(self, name: str, **kwargs) -> T:
+        """Instantiate the component registered under ``name``."""
+        return self[name](**kwargs)
+
+    def available(self) -> list:
+        """Sorted list of registered names."""
+        return sorted(self._factories)

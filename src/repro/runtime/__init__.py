@@ -1,0 +1,49 @@
+"""Declarative experiment runtime: RunSpec + registries + Runner.
+
+This package is the library's composable public API (see README):
+
+* :class:`RunSpec`  — a serializable description of one run (strategy, model,
+  dataset/partition, sampler, config overrides, callbacks, seeds) with a full
+  JSON round-trip.
+* registries        — string-keyed component registries: strategies, models,
+  datasets, client samplers, simulation callbacks.
+* :class:`Runner`   — executes specs (multi-seed, dataset-memoising) and
+  returns :class:`RunResult` records that plug into the reporting layer.
+
+Example::
+
+    from repro.runtime import RunSpec, Runner
+
+    spec = RunSpec(strategy="heteroswitch", dataset="device_capture",
+                   scale="smoke", seeds=[0, 1, 2])
+    result = Runner().run(spec)
+    print(result.summary)
+"""
+
+from .registries import (
+    CALLBACK_REGISTRY,
+    DATASET_REGISTRY,
+    MODEL_REGISTRY,
+    SAMPLER_REGISTRY,
+    STRATEGY_REGISTRY,
+    DataBundle,
+    build_dataset,
+)
+from .runner import Runner, RunResult, run_spec
+from .spec import RUN_KINDS, RunSpec, spec_scale
+
+__all__ = [
+    "RunSpec",
+    "RUN_KINDS",
+    "spec_scale",
+    "Runner",
+    "RunResult",
+    "run_spec",
+    "DataBundle",
+    "build_dataset",
+    "DATASET_REGISTRY",
+    "STRATEGY_REGISTRY",
+    "MODEL_REGISTRY",
+    "SAMPLER_REGISTRY",
+    "CALLBACK_REGISTRY",
+]

@@ -1,0 +1,228 @@
+"""Composable experiment runner executing declarative :class:`RunSpec`\\ s.
+
+The :class:`Runner` turns a spec into concrete components — dataset bundle,
+model factory, client population, strategy, sampler, callbacks — runs every
+requested seed, and returns a :class:`RunResult` with per-seed histories and a
+cross-seed summary.  Dataset bundles are memoised per ``(dataset, scale, seed,
+kwargs)``, so sweeping strategies or hyperparameters over one dataset builds
+the data once (the legacy runners' behaviour) instead of once per run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.swad import SWAAverager, SWADAverager
+from ..eval.centralized import evaluate_on_devices, train_centralized
+from ..eval.factories import make_model_factory
+from ..eval.results import ExperimentResult
+from ..eval.scale import ExperimentScale
+from ..fl.config import FLConfig
+from ..fl.metrics import summarize_per_device
+from ..fl.simulation import FederatedSimulation, FLHistory
+from ..fl.strategies import create_strategy
+from ..data.partition import build_client_specs
+from ..nn.layers import Module
+from .registries import CALLBACK_REGISTRY, SAMPLER_REGISTRY, DataBundle, build_dataset
+from .registries import default_train_transform
+from .spec import RunSpec
+
+__all__ = ["Runner", "RunResult", "run_spec"]
+
+_SUMMARY_KEYS = ("worst_case", "variance", "average")
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one :class:`RunSpec` across all its seeds."""
+
+    spec: RunSpec
+    seeds: List[int]
+    metrics: List[Dict[str, float]]
+    histories: List[FLHistory] = field(default_factory=list)
+    models: List[Module] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def history(self) -> FLHistory:
+        """The single-seed history (raises when the spec ran several seeds)."""
+        if len(self.histories) != 1:
+            raise ValueError(f"expected exactly one history, have {len(self.histories)}")
+        return self.histories[0]
+
+    def per_seed_summaries(self) -> List[Dict[str, float]]:
+        """Worst-case / variance / average of each seed's per-device metrics."""
+        return [summarize_per_device(metric) for metric in self.metrics]
+
+    def to_experiment_result(self, experiment_id: str = "bench") -> ExperimentResult:
+        """Render as the uniform result record the reporting layer consumes."""
+        rows: List[List[object]] = []
+        for seed, summary in zip(self.seeds, self.per_seed_summaries()):
+            rows.append([self.spec.label, seed, summary["worst_case"],
+                         summary["variance"], summary["average"]])
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            description=f"RunSpec '{self.spec.label}' over seeds {self.seeds}",
+            headers=["run", "seed", "worst_case", "variance", "average"],
+            rows=rows,
+            scalars=dict(self.summary),
+            metadata={"spec": self.spec.to_dict()},
+        )
+
+
+class Runner:
+    """Executes :class:`RunSpec`\\ s, memoising dataset construction.
+
+    One runner instance can execute many specs; bundles are cached by
+    ``(dataset, scale, seed, dataset_kwargs)`` so grids over strategies,
+    models or FL hyperparameters rebuild nothing but the runs themselves.
+    """
+
+    def __init__(self, cache_datasets: bool = True) -> None:
+        self.cache_datasets = cache_datasets
+        self._bundle_cache: Dict[str, DataBundle] = {}
+
+    # -- data --------------------------------------------------------------- #
+    def build_bundle(self, spec: RunSpec, seed: int) -> DataBundle:
+        """Build (or fetch from cache) the spec's dataset bundle for ``seed``."""
+        scale = spec.resolve_scale()
+        key = json.dumps(
+            {"dataset": spec.dataset, "scale": spec.scale, "seed": seed,
+             "kwargs": spec.dataset_kwargs},
+            sort_keys=True, default=str,
+        )
+        if self.cache_datasets and key in self._bundle_cache:
+            return self._bundle_cache[key]
+        bundle = build_dataset(spec.dataset, scale=scale, seed=seed, **spec.dataset_kwargs)
+        if self.cache_datasets:
+            self._bundle_cache[key] = bundle
+        return bundle
+
+    # -- execution ---------------------------------------------------------- #
+    def run(self, spec: RunSpec) -> RunResult:
+        """Execute every seed of the spec and summarise across seeds."""
+        spec.validate()
+        result = RunResult(spec=spec, seeds=list(spec.seeds), metrics=[])
+        for seed in spec.seeds:
+            if spec.kind == "centralized":
+                model, metrics = self._run_centralized(spec, seed)
+                result.models.append(model)
+            else:
+                history = self.run_seed(spec, seed)
+                result.histories.append(history)
+                metrics = history.per_device_metric
+            result.metrics.append(metrics)
+        result.summary = self._summarize(result)
+        return result
+
+    def run_seed(self, spec: RunSpec, seed: int) -> FLHistory:
+        """Execute one federated run of the spec at ``seed``."""
+        if spec.kind != "federated":
+            raise ValueError(f"run_seed requires a federated spec, got kind '{spec.kind}'")
+        scale = spec.resolve_scale()
+        bundle = self.build_bundle(spec, seed)
+        config = self._build_config(spec, scale, bundle, seed)
+        factory = make_model_factory(
+            scale, bundle.num_classes, bundle.image_size,
+            in_channels=bundle.in_channels,
+            model_name=spec.model or bundle.default_model,
+            seed=seed,
+        )
+        clients = build_client_specs(
+            bundle.train, num_clients=config.num_clients, shares=bundle.shares,
+            seed=seed, **spec.partition_kwargs,
+        )
+        strategy_kwargs = {**bundle.strategy_defaults.get(spec.strategy, {}),
+                           **spec.strategy_kwargs}
+        strategy = create_strategy(spec.strategy, **strategy_kwargs)
+        sampler = SAMPLER_REGISTRY.create(spec.sampler, **spec.sampler_kwargs)
+        callbacks = [CALLBACK_REGISTRY.create(name, **kwargs)
+                     for name, kwargs in spec.callbacks.items()]
+        simulation = FederatedSimulation(
+            factory, clients, bundle.test, strategy, config,
+            sampler=sampler, callbacks=callbacks,
+        )
+        return simulation.run()
+
+    def _build_config(self, spec: RunSpec, scale: ExperimentScale,
+                      bundle: DataBundle, seed: int) -> FLConfig:
+        settings: Dict[str, Any] = dict(
+            num_clients=scale.num_clients,
+            clients_per_round=min(scale.clients_per_round, scale.num_clients),
+            num_rounds=scale.num_rounds,
+            local_epochs=scale.local_epochs,
+            batch_size=scale.batch_size,
+            learning_rate=scale.learning_rate,
+            task=bundle.task,
+            seed=seed,
+        )
+        settings.update(spec.config_overrides)
+        return FLConfig(**settings)
+
+    def _run_centralized(self, spec: RunSpec, seed: int):
+        """One centralized SGD run (Fig. 7 style): returns (model, metrics)."""
+        scale = spec.resolve_scale()
+        bundle = self.build_bundle(spec, seed)
+        if len(bundle.train) != 1:
+            raise ValueError(
+                f"centralized runs need a single pooled train set, dataset "
+                f"'{spec.dataset}' produced {sorted(bundle.train)}"
+            )
+        train_set = next(iter(bundle.train.values()))
+        trainer = dict(spec.trainer_kwargs)
+        epochs = int(trainer.pop("epochs", scale.central_epochs))
+        batch_size = int(trainer.pop("batch_size", scale.batch_size))
+        learning_rate = float(trainer.pop("learning_rate", scale.learning_rate))
+        transform_degree = trainer.pop("transform_degree", None)
+        averager_name = trainer.pop("averager", "none")
+        if trainer:
+            raise ValueError(f"unknown trainer_kwargs {sorted(trainer)}")
+
+        batches_per_epoch = max(1, int(np.ceil(len(train_set) / batch_size)))
+        if averager_name == "swa":
+            weight_averager, average_per_epoch = SWAAverager(batches_per_epoch), True
+        elif averager_name == "swad":
+            weight_averager, average_per_epoch = SWADAverager(), False
+        elif averager_name == "none":
+            weight_averager, average_per_epoch = None, False
+        else:
+            raise ValueError(
+                f"averager must be 'none', 'swa' or 'swad', got '{averager_name}'"
+            )
+        transform = (default_train_transform(float(transform_degree))
+                     if transform_degree is not None else None)
+
+        factory = make_model_factory(
+            scale, bundle.num_classes, bundle.image_size,
+            in_channels=bundle.in_channels,
+            model_name=spec.model or bundle.default_model,
+            seed=seed,
+        )
+        model = train_centralized(
+            factory(), train_set, epochs=epochs, batch_size=batch_size,
+            learning_rate=learning_rate, task=bundle.task, transform=transform,
+            weight_averager=weight_averager, average_per_epoch=average_per_epoch,
+            seed=seed,
+        )
+        return model, evaluate_on_devices(model, bundle.test, bundle.task)
+
+    # -- summary ------------------------------------------------------------ #
+    @staticmethod
+    def _summarize(result: RunResult) -> Dict[str, float]:
+        summaries = result.per_seed_summaries()
+        summary: Dict[str, float] = {"num_seeds": float(len(summaries))}
+        for key in _SUMMARY_KEYS:
+            values = np.array([s[key] for s in summaries], dtype=np.float64)
+            summary[key] = float(values.mean())
+            if len(values) > 1:
+                summary[f"{key}_std"] = float(values.std(ddof=1))
+        return summary
+
+
+def run_spec(spec: RunSpec, runner: Optional[Runner] = None) -> RunResult:
+    """Execute one spec with a fresh (or provided) :class:`Runner`."""
+    return (runner or Runner()).run(spec)

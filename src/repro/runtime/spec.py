@@ -1,0 +1,223 @@
+"""Declarative, serializable description of one experiment run.
+
+A :class:`RunSpec` pins down everything an FL (or centralized) run needs —
+strategy, model, dataset/partition, client sampler, config overrides, attached
+callbacks and the seeds to replicate over — as plain strings and JSON-safe
+values resolved against the component registries.  Specs round-trip through
+``to_dict``/``from_dict`` and ``to_json``/``from_json``, so every scenario is
+a config file rather than a code fork::
+
+    spec = RunSpec(strategy="heteroswitch", dataset="device_capture",
+                   scale="smoke", seeds=[0, 1, 2])
+    RunSpec.from_json(spec.to_json()) == spec    # True
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..eval.scale import ExperimentScale, get_scale
+from ..fl.callbacks import CALLBACK_REGISTRY
+from ..fl.config import FLConfig
+from ..fl.sampling import SAMPLER_REGISTRY
+from ..fl.strategies import STRATEGY_REGISTRY
+from ..nn.models import MODEL_REGISTRY
+
+__all__ = ["RunSpec", "RUN_KINDS", "spec_scale"]
+
+
+def spec_scale(scale: "str | ExperimentScale") -> "str | Dict[str, Any]":
+    """Express a runner ``scale`` argument in :attr:`RunSpec.scale` form.
+
+    Preset names pass through as strings; custom :class:`ExperimentScale`
+    instances become their (JSON-serializable) field dict.
+    """
+    if isinstance(scale, str):
+        return scale
+    return dataclasses.asdict(get_scale(scale))
+
+RUN_KINDS = ("federated", "centralized")
+
+_FL_CONFIG_FIELDS = {f.name for f in dataclasses.fields(FLConfig)}
+_SCALE_FIELDS = {f.name for f in dataclasses.fields(ExperimentScale)}
+
+
+@dataclass
+class RunSpec:
+    """One experiment run as data.
+
+    Attributes
+    ----------
+    name:
+        Optional human-readable label (used in reports).
+    kind:
+        ``"federated"`` (the FL loop) or ``"centralized"`` (single-model SGD,
+        e.g. the Fig. 7 SWA/SWAD comparison).
+    strategy / strategy_kwargs:
+        FL strategy registry key and constructor arguments (federated only).
+    model:
+        Model registry key; ``None`` defers to the dataset's / scale's default.
+    dataset / dataset_kwargs:
+        Dataset-builder registry key and arguments (e.g. ``devices=[...]``).
+    partition_kwargs:
+        Extra arguments for client partitioning (e.g. ``exclude=[...]``).
+    sampler / sampler_kwargs:
+        Client-sampler registry key and constructor arguments.
+    scale:
+        Scale preset name, or a dict of :class:`ExperimentScale` fields for a
+        fully custom scale.
+    config_overrides:
+        :class:`FLConfig` fields overriding the scale-derived defaults.
+    callbacks:
+        Mapping of callback registry key to constructor kwargs, attached to
+        every seed's run.
+    trainer_kwargs:
+        Centralized-only options (``averager``, ``transform_degree``,
+        ``epochs``...).
+    seeds:
+        Seeds to replicate the run over (multi-seed sweeps).
+    """
+
+    name: Optional[str] = None
+    kind: str = "federated"
+    strategy: str = "fedavg"
+    strategy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    model: Optional[str] = None
+    dataset: str = "device_capture"
+    dataset_kwargs: Dict[str, Any] = field(default_factory=dict)
+    partition_kwargs: Dict[str, Any] = field(default_factory=dict)
+    sampler: str = "uniform"
+    sampler_kwargs: Dict[str, Any] = field(default_factory=dict)
+    scale: Union[str, Dict[str, Any]] = "smoke"
+    config_overrides: Dict[str, Any] = field(default_factory=dict)
+    callbacks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    trainer_kwargs: Dict[str, Any] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [0])
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation -------------------------------------------------------- #
+    def validate(self) -> None:
+        """Check every registry key and structural field, with helpful errors."""
+        # Local import: the dataset registry lives one layer up to keep this
+        # module free of heavyweight data/eval dependencies.
+        from .registries import DATASET_REGISTRY
+
+        if self.kind not in RUN_KINDS:
+            raise ValueError(f"kind must be one of {RUN_KINDS}, got '{self.kind}'")
+        if self.kind == "federated":
+            _require(STRATEGY_REGISTRY, self.strategy)
+            _require(SAMPLER_REGISTRY, self.sampler)
+            for callback_name in self.callbacks:
+                _require(CALLBACK_REGISTRY, callback_name)
+            unknown = set(self.config_overrides) - _FL_CONFIG_FIELDS
+            if unknown:
+                raise ValueError(
+                    f"unknown FLConfig override(s) {sorted(unknown)}; "
+                    f"valid fields: {sorted(_FL_CONFIG_FIELDS)}"
+                )
+            if self.trainer_kwargs:
+                raise ValueError(
+                    "trainer_kwargs only applies to centralized specs; federated "
+                    "runs configure training via config_overrides"
+                )
+        else:
+            # Centralized runs have no FL loop: reject fields that would be
+            # silently ignored instead of letting a wrong run look valid.
+            ignored = [name for name in
+                       ("strategy_kwargs", "config_overrides", "callbacks",
+                        "sampler_kwargs", "partition_kwargs") if getattr(self, name)]
+            if self.strategy != RunSpec.strategy:
+                ignored.append("strategy")
+            if self.sampler != RunSpec.sampler:
+                ignored.append("sampler")
+            if ignored:
+                raise ValueError(
+                    f"centralized specs do not use {sorted(ignored)}; training is "
+                    f"configured via trainer_kwargs (epochs, batch_size, "
+                    f"learning_rate, transform_degree, averager)"
+                )
+        if self.model is not None:
+            _require(MODEL_REGISTRY, self.model)
+        _require(DATASET_REGISTRY, self.dataset)
+        if isinstance(self.scale, dict):
+            missing = _SCALE_FIELDS - set(self.scale)
+            extra = set(self.scale) - _SCALE_FIELDS
+            if missing or extra:
+                raise ValueError(
+                    f"custom scale dict must supply exactly the ExperimentScale fields; "
+                    f"missing {sorted(missing)}, unexpected {sorted(extra)}"
+                )
+        else:
+            get_scale(self.scale)  # raises with the available preset names
+        if not self.seeds:
+            raise ValueError("seeds must not be empty")
+        if not all(isinstance(seed, int) for seed in self.seeds):
+            raise ValueError("seeds must be integers")
+
+    def resolve_scale(self) -> ExperimentScale:
+        """The concrete :class:`ExperimentScale` this spec runs at."""
+        if isinstance(self.scale, dict):
+            return ExperimentScale(**self.scale)
+        return get_scale(self.scale)
+
+    # -- derivation --------------------------------------------------------- #
+    def with_overrides(self, **kwargs) -> "RunSpec":
+        """A deep copy with selected fields replaced (specs stay immutable-ish)."""
+        return dataclasses.replace(copy.deepcopy(self), **kwargs)
+
+    # -- serialization ------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data dict representation (deep-copied, JSON-compatible)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise a listing error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec field(s) {sorted(unknown)}; valid fields: {sorted(known)}"
+            )
+        return cls(**copy.deepcopy(data))
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Parse a spec from its JSON rendering."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the spec as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "RunSpec":
+        """Read a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- display ------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for tables and reports."""
+        if self.name:
+            return self.name
+        if self.kind == "centralized":
+            return f"centralized/{self.dataset}"
+        return f"{self.strategy}/{self.dataset}"
+
+
+def _require(registry, name: str) -> None:
+    """Validate a registry key, re-raising the registry's listing error."""
+    registry[name]  # KeyError lists available keys

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.ema import EMALossTracker
 from repro.core.heteroswitch import HeteroSwitch, ISPTransformOnly, ISPTransformWithSWAD
-from repro.core.transforms import NCHWTransform, SignalTransform, default_isp_transform, ecg_transform
+from repro.core.transforms import default_isp_transform, ecg_transform
 from repro.data.dataset import ArrayDataset
 from repro.data.partition import ClientSpec
 from repro.fl.config import FLConfig

@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.eval.experiments import EXPERIMENTS
+from repro.runtime import STRATEGY_REGISTRY
 
 
 class TestParser:
@@ -29,6 +32,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_bench_command_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--spec", "spec.json", "--strategy", "heteroswitch",
+             "--seeds", "0", "1", "--rounds", "2"])
+        assert args.command == "bench"
+        assert args.spec == "spec.json"
+        assert args.strategy == "heteroswitch"
+        assert args.seeds == [0, 1]
+        assert args.rounds == 2
+
+    def test_bench_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--strategy", "sgd"])
+
+    def test_sweep_command_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--strategies", "fedavg", "heteroswitch", "--seeds", "0", "1"])
+        assert args.command == "sweep"
+        assert args.strategies == ["fedavg", "heteroswitch"]
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -36,6 +59,14 @@ class TestMain:
         out = capsys.readouterr().out
         for experiment_id in EXPERIMENTS:
             assert experiment_id in out
+
+    def test_list_prints_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for strategy in STRATEGY_REGISTRY:
+            assert strategy in out
+        for kind in ("strategies", "models", "datasets", "samplers", "callbacks"):
+            assert f"{kind}:" in out
 
     def test_run_single_experiment(self, capsys):
         assert main(["run", "fig7", "--scale", "smoke"]) == 0
@@ -55,3 +86,91 @@ class TestMain:
         # Strip the timing line, which legitimately differs between runs.
         strip = lambda text: "\n".join(l for l in text.splitlines() if "completed in" not in l)
         assert strip(first) == strip(second)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    """A tiny RunSpec JSON file (3 devices, 2 rounds) for CLI smoke runs."""
+    spec = {
+        "strategy": "fedavg",
+        "dataset": "device_capture",
+        "dataset_kwargs": {"devices": ["Pixel5", "S6", "G7"]},
+        "scale": "smoke",
+        "config_overrides": {"num_rounds": 2},
+        "seeds": [0],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestBench:
+    def test_bench_from_spec_file(self, spec_file, capsys):
+        assert main(["bench", "--spec", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "bench" in out and "fedavg/device_capture" in out
+        assert "worst_case" in out
+
+    def test_bench_cli_overrides(self, spec_file, capsys):
+        assert main(["bench", "--spec", spec_file, "--strategy", "heteroswitch",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "heteroswitch/device_capture" in out
+
+    def test_bench_writes_report(self, spec_file, tmp_path, capsys):
+        out_dir = tmp_path / "report"
+        assert main(["bench", "--spec", spec_file, "--output", str(out_dir)]) == 0
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "bench.csv").exists()
+
+    def test_bench_missing_spec_file_fails_cleanly(self, capsys):
+        assert main(["bench", "--spec", "/nonexistent/spec.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read spec file")
+
+    def test_bench_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["bench", "--spec", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bench_unknown_strategy_in_spec_lists_available(self, tmp_path, capsys):
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps({"strategy": "heteroswich"}))
+        assert main(["bench", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy 'heteroswich'" in err and "heteroswitch" in err
+
+    def test_bench_invalid_cli_override_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "central.json"
+        path.write_text(json.dumps({"kind": "centralized", "dataset": "scenes"}))
+        # --rounds adds a config override, which centralized specs reject.
+        assert main(["bench", "--spec", str(path), "--rounds", "3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid spec after CLI overrides")
+
+    def test_bench_deterministic_given_seed(self, spec_file, capsys):
+        main(["bench", "--spec", spec_file])
+        first = capsys.readouterr().out
+        main(["bench", "--spec", spec_file])
+        second = capsys.readouterr().out
+        strip = lambda text: "\n".join(l for l in text.splitlines() if "completed in" not in l)
+        assert strip(first) == strip(second)
+
+
+class TestSweep:
+    def test_sweep_over_strategies_and_seeds(self, spec_file, capsys):
+        assert main(["sweep", "--spec", spec_file, "--strategies", "fedavg",
+                     "heteroswitch", "--seeds", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        # One row per (strategy, seed) plus aggregate mean/std scalars.
+        assert out.count("| fedavg |") == 2
+        assert out.count("| heteroswitch |") == 2
+        assert "fedavg_average_std" in out
+
+    def test_sweep_writes_report(self, spec_file, tmp_path, capsys):
+        out_dir = tmp_path / "report"
+        assert main(["sweep", "--spec", spec_file, "--output", str(out_dir)]) == 0
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "sweep.csv").exists()

@@ -6,7 +6,7 @@ import pytest
 from repro.eval.factories import make_model_factory
 from repro.eval.reporting import result_to_csv, results_to_markdown, write_report
 from repro.eval.results import ExperimentResult, format_mapping, format_table
-from repro.eval.scale import SCALES, ExperimentScale, get_scale
+from repro.eval.scale import SCALES, get_scale
 from repro.nn.tensor import Tensor
 
 

@@ -1,0 +1,109 @@
+"""Tests for per-round client samplers and resume/replay reproducibility."""
+
+import pytest
+
+from repro.fl.config import FLConfig
+from repro.fl.sampling import (
+    SAMPLER_REGISTRY,
+    RoundRobinSampler,
+    UniformSampler,
+    create_sampler,
+)
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.strategies import FedAvg
+
+
+class TestUniformSampler:
+    def test_returns_k_distinct_indices(self):
+        sampler = UniformSampler()
+        for round_index in range(5):
+            picked = sampler.select(10, 4, round_index, seed=0)
+            assert len(picked) == 4
+            assert len(set(picked)) == 4
+            assert all(0 <= i < 10 for i in picked)
+
+    def test_pure_function_of_seed_and_round(self):
+        sampler = UniformSampler()
+        assert sampler.select(10, 4, 3, seed=7) == sampler.select(10, 4, 3, seed=7)
+
+    def test_round_index_changes_the_draw(self):
+        sampler = UniformSampler()
+        draws = [tuple(sampler.select(20, 5, r, seed=0)) for r in range(10)]
+        assert len(set(draws)) > 1
+
+    def test_seed_changes_the_draw(self):
+        sampler = UniformSampler()
+        draws = {tuple(sampler.select(20, 5, 0, seed=s)) for s in range(10)}
+        assert len(draws) > 1
+
+    def test_stateless_across_instances(self):
+        assert UniformSampler().select(10, 4, 2, seed=1) == \
+            UniformSampler().select(10, 4, 2, seed=1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            UniformSampler().select(3, 4, 0, seed=0)
+        with pytest.raises(ValueError):
+            UniformSampler().select(3, 0, 0, seed=0)
+
+
+class TestRoundRobinSampler:
+    def test_full_coverage_over_a_cycle(self):
+        sampler = RoundRobinSampler()
+        seen = set()
+        for round_index in range(5):
+            seen.update(sampler.select(10, 2, round_index, seed=0))
+        assert seen == set(range(10))
+
+    def test_deterministic(self):
+        sampler = RoundRobinSampler()
+        assert sampler.select(10, 3, 4, seed=2) == sampler.select(10, 3, 4, seed=2)
+
+
+class TestSamplerRegistry:
+    def test_create_by_name(self):
+        assert isinstance(create_sampler("uniform"), UniformSampler)
+        assert isinstance(create_sampler("round_robin"), RoundRobinSampler)
+
+    def test_unknown_sampler_lists_available(self):
+        with pytest.raises(KeyError, match="unknown sampler 'x'.*round_robin.*uniform"):
+            SAMPLER_REGISTRY["x"]
+
+
+class TestResumeReplay:
+    """select_clients must honour round_index: replaying any round in isolation
+    reproduces the full run's per-round participant sets (the old behaviour
+    silently discarded round_index and consumed a shared RNG stream)."""
+
+    def test_single_round_replay_matches_full_run(self, tiny_bundle, tiny_clients,
+                                                  tiny_model_fn):
+        config = FLConfig(num_clients=6, clients_per_round=3, num_rounds=4,
+                          batch_size=4, learning_rate=0.02, seed=0)
+        full = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                   FedAvg(), config)
+        full_history = full.run()
+
+        # A fresh simulation replaying only round 2 selects the same clients.
+        replay = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                     FedAvg(), config)
+        selected = [spec.client_id for spec in replay.select_clients(2)]
+        assert selected == full_history.rounds[2].selected_clients
+
+    def test_out_of_order_selection_is_consistent(self, tiny_bundle, tiny_clients,
+                                                  tiny_fl_config, tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  FedAvg(), tiny_fl_config)
+        forward = [[s.client_id for s in sim.select_clients(r)] for r in range(4)]
+        backward = [[s.client_id for s in sim.select_clients(r)]
+                    for r in reversed(range(4))]
+        assert forward == list(reversed(backward))
+
+    def test_custom_sampler_is_used(self, tiny_bundle, tiny_clients, tiny_fl_config,
+                                    tiny_model_fn):
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  FedAvg(), tiny_fl_config, sampler=RoundRobinSampler())
+        history = sim.run()
+        expected = RoundRobinSampler().select(len(tiny_clients),
+                                              tiny_fl_config.clients_per_round,
+                                              0, tiny_fl_config.seed)
+        assert history.rounds[0].selected_clients == expected

@@ -14,8 +14,6 @@ from repro.nn.layers import (
     Identity,
     Linear,
     MaxPool2d,
-    Module,
-    Parameter,
     ReLU,
     Sequential,
 )

@@ -1,0 +1,151 @@
+"""Tests for the declarative RunSpec: validation and JSON round-trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.eval.scale import SCALES
+from repro.runtime import RunSpec, spec_scale
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = RunSpec()
+        assert spec.kind == "federated"
+        assert spec.strategy == "fedavg"
+        assert spec.seeds == [0]
+
+    def test_unknown_strategy_lists_available(self):
+        with pytest.raises(KeyError, match="unknown strategy 'sgd'.*fedavg"):
+            RunSpec(strategy="sgd")
+
+    def test_unknown_model_lists_available(self):
+        with pytest.raises(KeyError, match="unknown model.*simple_mlp"):
+            RunSpec(model="resnet50")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset.*device_capture"):
+            RunSpec(dataset="imagenet")
+
+    def test_unknown_sampler(self):
+        with pytest.raises(KeyError, match="unknown sampler.*uniform"):
+            RunSpec(sampler="importance")
+
+    def test_unknown_callback(self):
+        with pytest.raises(KeyError, match="unknown callback.*eval_every"):
+            RunSpec(callbacks={"telemetry2": {}})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            RunSpec(kind="quantum")
+
+    def test_unknown_scale_preset(self):
+        with pytest.raises(KeyError, match="unknown scale"):
+            RunSpec(scale="huge")
+
+    def test_unknown_config_override(self):
+        with pytest.raises(ValueError, match="unknown FLConfig override.*lr"):
+            RunSpec(config_overrides={"lr": 0.1})
+
+    def test_empty_seeds(self):
+        with pytest.raises(ValueError, match="seeds"):
+            RunSpec(seeds=[])
+
+    def test_non_integer_seeds(self):
+        with pytest.raises(ValueError, match="seeds must be integers"):
+            RunSpec(seeds=["zero"])
+
+    def test_custom_scale_dict_must_be_complete(self):
+        with pytest.raises(ValueError, match="ExperimentScale fields"):
+            RunSpec(scale={"num_clients": 4})
+
+    def test_custom_scale_dict_round_trips(self):
+        scale_dict = dataclasses.asdict(SCALES["smoke"])
+        spec = RunSpec(scale=scale_dict)
+        assert spec.resolve_scale() == SCALES["smoke"]
+
+    def test_spec_scale_helper(self):
+        assert spec_scale("smoke") == "smoke"
+        as_dict = spec_scale(SCALES["smoke"])
+        assert as_dict == dataclasses.asdict(SCALES["smoke"])
+        assert RunSpec(scale=as_dict).resolve_scale() == SCALES["smoke"]
+
+    def test_federated_rejects_trainer_kwargs(self):
+        with pytest.raises(ValueError, match="trainer_kwargs only applies"):
+            RunSpec(trainer_kwargs={"averager": "swad"})
+
+    def test_centralized_rejects_silently_ignored_fields(self):
+        with pytest.raises(ValueError, match="centralized specs do not use.*config_overrides"):
+            RunSpec(kind="centralized", dataset="scenes",
+                    config_overrides={"learning_rate": 0.5})
+        with pytest.raises(ValueError, match="centralized specs do not use.*callbacks"):
+            RunSpec(kind="centralized", dataset="scenes",
+                    callbacks={"round_logger": {}})
+        with pytest.raises(ValueError, match="centralized specs do not use.*strategy"):
+            RunSpec(kind="centralized", dataset="scenes", strategy="heteroswitch")
+        with pytest.raises(ValueError, match="centralized specs do not use.*sampler"):
+            RunSpec(kind="centralized", dataset="scenes", sampler="round_robin")
+
+
+class TestSerialization:
+    def _rich_spec(self) -> RunSpec:
+        return RunSpec(
+            name="test",
+            strategy="heteroswitch",
+            strategy_kwargs={},
+            model="simple_mlp",
+            dataset="device_capture",
+            dataset_kwargs={"devices": ["Pixel5", "S6"]},
+            sampler="round_robin",
+            scale="smoke",
+            config_overrides={"num_rounds": 2, "learning_rate": 0.05},
+            callbacks={"early_stopping": {"patience": 2}},
+            seeds=[0, 1, 2],
+        )
+
+    def test_dict_round_trip(self):
+        spec = self._rich_spec()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = self._rich_spec()
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = self._rich_spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert RunSpec.load(path) == spec
+
+    def test_to_dict_is_deep_copy(self):
+        spec = self._rich_spec()
+        data = spec.to_dict()
+        data["dataset_kwargs"]["devices"].append("G7")
+        assert spec.dataset_kwargs["devices"] == ["Pixel5", "S6"]
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown RunSpec field.*optimizer"):
+            RunSpec.from_dict({"optimizer": "adam"})
+
+    def test_from_dict_validates_contents(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            RunSpec.from_dict({"strategy": "sgd"})
+
+
+class TestDerivation:
+    def test_with_overrides_returns_independent_copy(self):
+        spec = RunSpec(dataset_kwargs={"devices": ["Pixel5", "S6"]})
+        variant = spec.with_overrides(strategy="heteroswitch")
+        assert variant.strategy == "heteroswitch"
+        assert spec.strategy == "fedavg"
+        variant.dataset_kwargs["devices"].append("G7")
+        assert spec.dataset_kwargs["devices"] == ["Pixel5", "S6"]
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            RunSpec().with_overrides(strategy="sgd")
+
+    def test_label(self):
+        assert RunSpec().label == "fedavg/device_capture"
+        assert RunSpec(name="custom").label == "custom"
+        assert RunSpec(kind="centralized", dataset="scenes").label == "centralized/scenes"
