@@ -13,7 +13,10 @@ regenerates one table/figure and prints it as markdown (optionally writing a
 report directory with CSVs); ``run-all`` iterates over every experiment.
 ``bench`` executes one declarative :class:`~repro.runtime.RunSpec` (from a
 JSON file and/or CLI overrides); ``sweep`` replicates a spec over a strategy
-grid and multiple seeds and reports mean ± std summaries.
+grid and multiple seeds and reports mean ± std summaries.  Both accept
+``--executor {serial,thread,process}`` and ``--workers N`` to fan client
+training out over a worker pool — results are bit-identical across backends,
+only the wall clock changes.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from .eval.scale import SCALES
 from .runtime import (
     CALLBACK_REGISTRY,
     DATASET_REGISTRY,
+    EXECUTOR_REGISTRY,
     MODEL_REGISTRY,
     SAMPLER_REGISTRY,
     STRATEGY_REGISTRY,
@@ -63,6 +67,7 @@ _REGISTRIES = {
     "datasets": DATASET_REGISTRY,
     "samplers": SAMPLER_REGISTRY,
     "callbacks": CALLBACK_REGISTRY,
+    "executors": EXECUTOR_REGISTRY,
 }
 
 
@@ -121,6 +126,11 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seeds to replicate over (default: the spec's seeds)")
     parser.add_argument("--rounds", type=int, default=None,
                         help="override the number of communication rounds")
+    parser.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
+                        help="client-execution backend (results are bit-identical; "
+                             "only wall clock changes)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="max parallel client workers (default: one per CPU core)")
 
 
 class SpecError(Exception):
@@ -149,10 +159,18 @@ def _build_spec(args: argparse.Namespace) -> RunSpec:
 
 def _apply_spec_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
     overrides = {}
-    for attribute in ("strategy", "dataset", "model", "sampler", "scale", "seeds"):
+    for attribute in ("strategy", "dataset", "model", "sampler", "scale", "seeds",
+                      "executor"):
         value = getattr(args, attribute)
         if value is not None:
             overrides[attribute] = value
+    if args.workers is not None:
+        if (args.executor or spec.executor) == "serial":
+            raise ValueError(
+                "--workers has no effect with the serial executor; "
+                "add --executor thread|process (or set executor in the spec)"
+            )
+        overrides["max_workers"] = args.workers
     if args.rounds is not None:
         overrides["config_overrides"] = {**spec.config_overrides, "num_rounds": args.rounds}
     return spec.with_overrides(**overrides) if overrides else spec

@@ -54,8 +54,10 @@ class _GeneralizingStrategy(Strategy):
         context: FLContext,
     ) -> ClientResult:
         config = context.config
-        seed = config.seed * 100_003 + context.round_index * 1_009 + spec.client_id
-        rng = np.random.default_rng(seed)
+        # Private per-client stream: identical regardless of which execution
+        # backend (serial / thread / process) runs this update.
+        seed = context.client_seed(spec.client_id)
+        rng = context.client_rng(spec.client_id)
 
         # Bias measurement happens inside local_train (init_loss); to decide the
         # switch *before* training we evaluate it here explicitly, mirroring

@@ -11,6 +11,16 @@ from .callbacks import (
     create_callback,
 )
 from .config import FLConfig
+from .execution import (
+    EXECUTOR_REGISTRY,
+    ClientExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    client_rng,
+    create_executor,
+    derive_client_seed,
+)
 from .metrics import (
     accuracy,
     accuracy_variance,
@@ -63,6 +73,14 @@ __all__ = [
     "FederatedSimulation",
     "FLHistory",
     "RoundRecord",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_REGISTRY",
+    "create_executor",
+    "derive_client_seed",
+    "client_rng",
     "Callback",
     "CallbackList",
     "SwitchTelemetry",

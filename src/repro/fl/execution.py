@@ -1,0 +1,308 @@
+"""Pluggable client-execution backends for the FL simulation loop.
+
+:class:`~repro.fl.simulation.FederatedSimulation.run_round` fans the per-client
+local-training step out through a :class:`ClientExecutor`.  Three backends are
+registered in :data:`EXECUTOR_REGISTRY`:
+
+* ``serial``  — the reference path: one scratch model, clients trained in
+  selection order on the calling thread.
+* ``thread``  — a ``concurrent.futures.ThreadPoolExecutor`` with one scratch
+  model per worker thread.  Useful when the training step releases the GIL
+  (large BLAS calls) and for exercising the parallel protocol cheaply.
+* ``process`` — a ``multiprocessing`` process pool (``fork`` start method).
+  Clients train in worker processes, so the Python-heavy training loop scales
+  with cores.  Inputs reach workers by fork inheritance (no pickling of model
+  factories or datasets); only the :class:`~repro.fl.training.ClientResult`
+  payloads return through pickle, made contiguous/pickle-safe via
+  :func:`repro.nn.serialization.clone_state`.
+
+Determinism contract (why every backend produces bit-identical runs):
+
+1. Each client job derives its own RNG stream from ``(config.seed,
+   round_index, client_id)`` via :func:`derive_client_seed` — never from a
+   shared generator — so a client's update is a pure function of the broadcast
+   weights and its identity, independent of scheduling.
+2. ``client_update`` must treat the shared :class:`~repro.fl.strategies.base.
+   FLContext` as read-only; per-client state updates travel in
+   ``ClientResult.metadata`` and are applied server-side after the round.
+3. Executors return results in *selection order* regardless of completion
+   order, and strategies reduce them in canonical order (see
+   :func:`repro.fl.strategies.base.canonical_results`), so aggregation is
+   independent of both submission interleaving and worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.partition import ClientSpec
+from ..nn.serialization import clone_state
+from ..registry import Registry
+from .training import ClientResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (strategies import us)
+    from ..nn.layers import Module
+    from .strategies.base import FLContext, Strategy
+
+__all__ = [
+    "derive_client_seed",
+    "client_rng",
+    "run_client",
+    "validate_max_workers",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_REGISTRY",
+    "create_executor",
+]
+
+ModelFactory = Callable[[], "Module"]
+
+# The historical per-client seed derivation (formerly duplicated inline in
+# every strategy).  The constants are frozen: changing them would change every
+# benchmark number the repo has ever produced.
+_SEED_ROUND_STRIDE = 1_009
+_SEED_RUN_STRIDE = 100_003
+
+
+def derive_client_seed(seed: int, round_index: int, client_id: int) -> int:
+    """The seed of one client's private RNG stream for one round.
+
+    A pure function of ``(run seed, round, client)``: the stream is identical
+    whether the client trains serially, on a thread, or in a worker process,
+    and regardless of how many other clients train concurrently.
+    """
+    return seed * _SEED_RUN_STRIDE + round_index * _SEED_ROUND_STRIDE + client_id
+
+
+def client_rng(seed: int, round_index: int, client_id: int) -> np.random.Generator:
+    """A fresh generator positioned at the start of the client's stream."""
+    return np.random.default_rng(derive_client_seed(seed, round_index, client_id))
+
+
+def validate_max_workers(max_workers: Optional[int]) -> None:
+    """Reject anything but ``None`` or a positive (non-bool) integer.
+
+    The single validator shared by executor construction and
+    :meth:`repro.runtime.RunSpec.validate`, so the two paths cannot drift.
+    """
+    if max_workers is not None and (
+        not isinstance(max_workers, int)
+        or isinstance(max_workers, bool)
+        or max_workers < 1
+    ):
+        raise ValueError(
+            f"max_workers must be a positive integer or None, got {max_workers!r}"
+        )
+
+
+def run_client(
+    strategy: "Strategy",
+    model: "Module",
+    spec: ClientSpec,
+    global_state: Dict[str, np.ndarray],
+    context: "FLContext",
+) -> ClientResult:
+    """Run one client's local update and stamp the provenance aggregation needs."""
+    result = strategy.client_update(model, spec, global_state, context)
+    result.client_id = spec.client_id
+    return result
+
+
+class ClientExecutor:
+    """Interface: fan out one round's client updates, reduce deterministically.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrent client jobs; ``None`` means one worker per
+        CPU core.  The serial backend accepts (and ignores) it so every
+        backend is constructed uniformly from :class:`~repro.runtime.RunSpec`
+        fields.
+    """
+
+    name = "executor"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        validate_max_workers(max_workers)
+        self.max_workers = max_workers
+
+    def run_round(
+        self,
+        strategy: "Strategy",
+        model_fn: ModelFactory,
+        selected: Sequence[ClientSpec],
+        global_state: Dict[str, np.ndarray],
+        context: "FLContext",
+    ) -> List[ClientResult]:
+        """Train every selected client and return results in selection order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; the executor stays usable)."""
+
+    def _effective_workers(self, num_jobs: int) -> int:
+        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        return max(1, min(limit, num_jobs))
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class SerialExecutor(ClientExecutor):
+    """The reference backend: clients train sequentially on one scratch model."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._factory: Optional[ModelFactory] = None
+        self._model: Optional["Module"] = None
+
+    def run_round(self, strategy, model_fn, selected, global_state, context):
+        if self._factory is not model_fn:
+            self._factory, self._model = model_fn, model_fn()
+        return [run_client(strategy, self._model, spec, global_state, context)
+                for spec in selected]
+
+
+class ThreadExecutor(ClientExecutor):
+    """Thread-pool backend with one scratch model per worker thread.
+
+    The pool is created lazily and survives across rounds (and runs), so
+    models are built once per thread rather than once per client.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._pool: Optional[_FuturesThreadPool] = None
+        self._pool_workers = 0
+        self._local = threading.local()
+
+    def _ensure_pool(self, workers: int) -> _FuturesThreadPool:
+        if self._pool is None or self._pool_workers < workers:
+            self.close()
+            self._pool = _FuturesThreadPool(max_workers=workers,
+                                            thread_name_prefix="fl-client")
+            self._pool_workers = workers
+        return self._pool
+
+    def _run_one(self, strategy, model_fn, spec, global_state, context):
+        cache = self._local
+        if getattr(cache, "factory", None) is not model_fn:
+            cache.factory, cache.model = model_fn, model_fn()
+        return run_client(strategy, cache.model, spec, global_state, context)
+
+    def run_round(self, strategy, model_fn, selected, global_state, context):
+        if not selected:
+            return []
+        pool = self._ensure_pool(self._effective_workers(len(selected)))
+        futures = [pool.submit(self._run_one, strategy, model_fn, spec,
+                               global_state, context)
+                   for spec in selected]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+
+# Handoff slot for the fork-based process pool.  The parent stores the round's
+# job just before forking; children inherit it (copy-on-write) so neither the
+# model factory (usually a closure) nor the client datasets are ever pickled.
+_FORK_JOB: Optional[Tuple] = None
+# Child-side scratch model, built on first use and reused for every client the
+# child handles this round (children never outlive a round's pool).
+_FORK_MODEL: Optional[Tuple[ModelFactory, "Module"]] = None
+
+
+def _fork_client(position: int) -> ClientResult:
+    """Process-pool entry point: train the round's ``position``-th client."""
+    global _FORK_MODEL
+    strategy, model_fn, selected, global_state, context = _FORK_JOB
+    if _FORK_MODEL is None or _FORK_MODEL[0] is not model_fn:
+        _FORK_MODEL = (model_fn, model_fn())
+    result = run_client(strategy, _FORK_MODEL[1], selected[position],
+                        global_state, context)
+    # The only pickled payload: make the weights contiguous owned arrays so
+    # the transfer back to the server is cheap and alias-free.
+    result.state = clone_state(result.state)
+    return result
+
+
+class ProcessExecutor(ClientExecutor):
+    """Process-pool backend (``fork`` start method, POSIX only).
+
+    A fresh pool is forked per round: inputs travel by address-space
+    inheritance (zero serialization), results return through pickle.  Workers
+    see the context exactly as it was at the start of the round — the same
+    snapshot semantics the read-only ``client_update`` contract guarantees for
+    the serial and thread backends.
+    """
+
+    name = "process"
+
+    def run_round(self, strategy, model_fn, selected, global_state, context):
+        global _FORK_JOB
+        if not selected:
+            return []
+        # macOS lists 'fork' as available but forking a threaded/Accelerate
+        # process is unsafe there (objc fork-safety aborts), so require Linux
+        # rather than merely fork availability.
+        if sys.platform == "darwin" or "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the 'process' executor requires a fork-safe platform (Linux); "
+                "use executor='thread' or 'serial' on this platform"
+            )
+        workers = self._effective_workers(len(selected))
+        mp_context = multiprocessing.get_context("fork")
+        # The module-global handoff supports one in-flight round per process:
+        # the payload is set immediately before the fork and cleared before
+        # returning, whatever happens in between.
+        pool = None
+        try:
+            _FORK_JOB = (strategy, model_fn, list(selected), global_state, context)
+            pool = mp_context.Pool(processes=workers)
+            # Pool.map preserves submission order; chunksize=1 load-balances
+            # heterogeneous client dataset sizes across workers.
+            results = pool.map(_fork_client, range(len(selected)), chunksize=1)
+            pool.close()
+        except Exception:
+            if pool is not None:
+                pool.terminate()
+            raise
+        finally:
+            if pool is not None:
+                pool.join()
+            _FORK_JOB = None
+        return list(results)
+
+
+EXECUTOR_REGISTRY: Registry[ClientExecutor] = Registry("executor", {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+})
+
+
+def create_executor(name: str, **kwargs) -> ClientExecutor:
+    """Instantiate an execution backend by registry name."""
+    return EXECUTOR_REGISTRY.create(name, **kwargs)

@@ -11,12 +11,18 @@ Round bookkeeping (switch counting, periodic evaluation) is implemented with
 the observer API of :mod:`repro.fl.callbacks`; client selection is delegated to
 a pluggable :class:`~repro.fl.sampling.ClientSampler` whose draws depend only
 on ``(seed, round_index)`` so any round can be replayed in isolation.
+
+The per-client local-training step is fanned out through a pluggable
+:class:`~repro.fl.execution.ClientExecutor` (serial, thread pool, or process
+pool); every backend produces bit-identical runs because client randomness
+derives from ``(seed, round, client_id)`` and results are reduced in canonical
+order (see :mod:`repro.fl.execution` for the full determinism contract).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -27,6 +33,7 @@ from ..nn.layers import Module
 from ..nn.serialization import get_weights, set_weights
 from .callbacks import Callback, CallbackList, PeriodicEvaluation, SwitchTelemetry
 from .config import FLConfig
+from .execution import ClientExecutor, create_executor
 from .metrics import summarize_per_device
 from .sampling import ClientSampler, UniformSampler
 from .strategies.base import FLContext, Strategy
@@ -94,6 +101,14 @@ class FederatedSimulation:
     callbacks:
         Extra observers attached to every :meth:`run` (the built-in switch
         telemetry and ``eval_every`` bookkeeping are always present).
+    executor:
+        Client-execution backend fanning out the per-client training step: a
+        :class:`~repro.fl.execution.ClientExecutor` instance, a registry name
+        (``"serial"``, ``"thread"``, ``"process"``), or ``None`` for serial.
+        A bare name uses one worker per CPU core; pass a constructed instance
+        (``create_executor("thread", max_workers=4)``) to cap the pool.
+        Backends the simulation creates itself are closed at the end of each
+        :meth:`run`; instances passed in are the caller's to close.
     """
 
     def __init__(
@@ -105,6 +120,7 @@ class FederatedSimulation:
         config: FLConfig,
         sampler: Optional[ClientSampler] = None,
         callbacks: Sequence[Callback] = (),
+        executor: Optional[Union[str, ClientExecutor]] = None,
     ) -> None:
         if not clients:
             raise ValueError("client population must not be empty")
@@ -123,19 +139,28 @@ class FederatedSimulation:
         self.config = config
         self.sampler = sampler if sampler is not None else UniformSampler()
         self.callbacks = list(callbacks)
+        if executor is None or isinstance(executor, str):
+            self._executor = create_executor(executor or "serial")
+            self._owns_executor = True
+        else:
+            self._executor = executor
+            self._owns_executor = False
 
-        self._model = model_fn()
-        self._global_state: StateDict = get_weights(self._model)
+        self._global_state: StateDict = get_weights(model_fn())
         self.context = FLContext(
             config=config,
             ema=EMALossTracker(alpha=config.ema_alpha),
-            rng=np.random.default_rng(config.seed),
         )
         self._history: Optional[FLHistory] = None
         self._active_callbacks: Optional[CallbackList] = None
         self._stop_requested = False
 
     # ------------------------------------------------------------------ #
+    @property
+    def executor(self) -> ClientExecutor:
+        """The client-execution backend fanning out local training."""
+        return self._executor
+
     @property
     def global_state(self) -> StateDict:
         """Copy of the current global model weights."""
@@ -179,12 +204,12 @@ class FederatedSimulation:
         self.context.round_index = round_index
         callbacks.on_round_start(self, round_index)
         selected = self.select_clients(round_index)
-        results: List[ClientResult] = []
-        for spec in selected:
-            result = self.strategy.client_update(
-                self._model, spec, self.global_state, self.context
-            )
-            results.append(result)
+        # Record the selection order: it is the canonical reduction order the
+        # strategies aggregate in, whatever order parallel workers finish in.
+        self.context.round_selection = [spec.client_id for spec in selected]
+        results: List[ClientResult] = self._executor.run_round(
+            self.strategy, self.model_fn, selected, self.global_state, self.context
+        )
 
         self._global_state = self.strategy.aggregate(self._global_state, results, self.context)
         self.strategy.on_round_end(self.context, results)
@@ -237,4 +262,8 @@ class FederatedSimulation:
             callbacks.on_run_end(self, history)
         finally:
             self._active_callbacks = None
+            if self._owns_executor:
+                # Release worker pools; the executor lazily re-creates them if
+                # this simulation runs again.
+                self._executor.close()
         return history

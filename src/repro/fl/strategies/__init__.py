@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ...registry import Registry
-from .base import FedAvg, FLContext, Strategy
+from .base import FedAvg, FLContext, Strategy, canonical_results
 from .fedprox import FedProx
 from .qfedavg import QFedAvg
 from .scaffold import Scaffold
@@ -19,6 +19,7 @@ from .scaffold import Scaffold
 __all__ = [
     "Strategy",
     "FLContext",
+    "canonical_results",
     "FedAvg",
     "FedProx",
     "QFedAvg",

@@ -8,14 +8,24 @@ A *strategy* owns the two points where FL algorithms differ:
   next global model.
 
 Per-round shared state (the EMA loss tracker, per-client persistent storage
-such as SCAFFOLD's control variates, the round index and RNG) travels in an
+such as SCAFFOLD's control variates, the round index) travels in an
 :class:`FLContext` owned by the simulation loop.
+
+Execution contract (see :mod:`repro.fl.execution`): ``client_update`` may run
+concurrently with other clients of the same round — on threads or in forked
+worker processes — so it must treat the context as **read-only** and derive
+any randomness from its private stream (:meth:`FLContext.client_rng`), never
+from shared mutable generators.  Per-client state updates travel back in
+``ClientResult.metadata`` and are applied server-side in ``aggregate`` /
+``on_round_end``.  Aggregation reduces client results in *canonical order*
+(:func:`canonical_results`) so the global update is invariant to any
+permutation of the returned results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,27 +34,71 @@ from ...data.partition import ClientSpec
 from ...nn.layers import Module
 from ...nn.serialization import average_states
 from ..config import FLConfig
+from ..execution import derive_client_seed
 from ..training import ClientResult, local_train
 
-__all__ = ["FLContext", "Strategy", "FedAvg"]
+__all__ = ["FLContext", "Strategy", "FedAvg", "canonical_results"]
 
 StateDict = Dict[str, np.ndarray]
 
 
 @dataclass
 class FLContext:
-    """Mutable state shared across rounds of one FL simulation."""
+    """Mutable state shared across rounds of one FL simulation.
+
+    Strategies may mutate it only on the server side of a round (``aggregate``
+    / ``on_round_end``); during ``client_update`` it is read-only shared state
+    that worker threads/processes observe as a start-of-round snapshot.
+    """
 
     config: FLConfig
     ema: EMALossTracker
-    rng: np.random.Generator
     round_index: int = 0
+    round_selection: List[int] = field(default_factory=list)
     client_storage: Dict[int, dict] = field(default_factory=dict)
     server_storage: dict = field(default_factory=dict)
 
     def storage_for(self, client_id: int) -> dict:
-        """Per-client persistent dictionary (created lazily)."""
+        """Per-client persistent dictionary (created lazily; server-side only)."""
         return self.client_storage.setdefault(client_id, {})
+
+    def client_seed(self, client_id: int) -> int:
+        """Seed of the client's private RNG stream for the current round."""
+        return derive_client_seed(self.config.seed, self.round_index, client_id)
+
+    def client_rng(self, client_id: int) -> np.random.Generator:
+        """A fresh generator on the client's ``(seed, round, client)`` stream.
+
+        This replaces the old shared ``FLContext.rng``: a shared generator's
+        draws depend on how many clients consumed it before — a latent
+        nondeterminism hazard once clients run concurrently.  Derived streams
+        make every client's randomness a pure function of its identity.
+        """
+        return np.random.default_rng(self.client_seed(client_id))
+
+
+def canonical_results(results: Sequence[ClientResult],
+                      context: Optional[FLContext] = None) -> List[ClientResult]:
+    """Client results in canonical reduction order.
+
+    Aggregations reduce floating-point sums, which are not associative: the
+    reduction order must therefore be a function of *which* clients reported,
+    not of the order their results happened to arrive in.  The canonical order
+    is the round's selection order (``context.round_selection``), falling back
+    to ascending ``client_id`` when no selection is recorded; results without
+    distinct client ids (e.g. hand-built fixtures) are returned unchanged.
+    """
+    ordered = list(results)
+    ids = [result.client_id for result in ordered]
+    if len(set(ids)) != len(ids):
+        return ordered
+    if context is not None and context.round_selection:
+        position = {cid: i for i, cid in enumerate(context.round_selection)}
+        if all(cid in position for cid in ids):
+            return sorted(ordered, key=lambda result: position[result.client_id])
+    if all(cid >= 0 for cid in ids):
+        return sorted(ordered, key=lambda result: result.client_id)
+    return ordered
 
 
 class Strategy:
@@ -61,7 +115,7 @@ class Strategy:
     ) -> ClientResult:
         """Default ClientUpdate: plain local SGD (FedAvg's client behaviour)."""
         config = context.config
-        seed = config.seed * 100_003 + context.round_index * 1_009 + spec.client_id
+        seed = context.client_seed(spec.client_id)
         result = local_train(model, spec.dataset, config, global_state, seed=seed)
         result.metadata["device"] = spec.device
         return result
@@ -72,18 +126,23 @@ class Strategy:
         results: List[ClientResult],
         context: FLContext,
     ) -> StateDict:
-        """Default aggregation: sample-count weighted averaging (FedAvg)."""
-        del context
+        """Default aggregation: sample-count weighted averaging (FedAvg).
+
+        Results are reduced in canonical order, so the aggregate is invariant
+        to any permutation of the collected client updates.
+        """
         if not results:
             raise ValueError("cannot aggregate an empty list of client results")
-        weights = [result.num_samples for result in results]
-        return average_states([result.state for result in results], weights)
+        ordered = canonical_results(results, context)
+        weights = [result.num_samples for result in ordered]
+        return average_states([result.state for result in ordered], weights)
 
     def on_round_end(self, context: FLContext, results: List[ClientResult]) -> None:
         """Hook after aggregation; default updates the EMA loss tracker (Eq. 1)."""
+        ordered = canonical_results(results, context)
         context.ema.update_from_clients(
-            [result.train_loss for result in results],
-            weights=[result.num_samples for result in results],
+            [result.train_loss for result in ordered],
+            weights=[result.num_samples for result in ordered],
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -34,7 +34,7 @@ class FedProx(Strategy):
         context: FLContext,
     ) -> ClientResult:
         config = context.config
-        seed = config.seed * 100_003 + context.round_index * 1_009 + spec.client_id
+        seed = context.client_seed(spec.client_id)
         # The proximal reference must follow the parameter iteration order of
         # model.parameters(); build the optimizer after weights are loaded by
         # local_train, so instead we construct it here and set the reference

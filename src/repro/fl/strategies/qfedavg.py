@@ -18,7 +18,7 @@ from typing import List
 
 from ...nn.serialization import add_states, scale_state, state_norm, subtract_states, zeros_like_state
 from ..training import ClientResult
-from .base import FLContext, StateDict, Strategy
+from .base import FLContext, StateDict, Strategy, canonical_results
 
 __all__ = ["QFedAvg"]
 
@@ -45,7 +45,8 @@ class QFedAvg(Strategy):
 
         weighted_delta_sum = zeros_like_state(global_state)
         h_sum = 0.0
-        for result in results:
+        # Canonical order makes the floating-point reduction permutation-invariant.
+        for result in canonical_results(results, context):
             delta = scale_state(subtract_states(global_state, result.state), lipschitz)
             # Use the client's *initial* loss F_k (loss of the global model on the
             # client's data), as in the q-FFL formulation.

@@ -9,6 +9,14 @@ client control variate is refreshed using option II of the paper:
 
 where ``K`` is the number of local steps taken.  The server averages the
 client deltas for both weights and control variates.
+
+Parallel-execution audit: ``client_update`` only *reads* the control variates
+from the shared context (missing entries are treated as zeros without being
+written), and ships the refreshed client variate back in
+``ClientResult.metadata`` — the server applies it in :meth:`Scaffold.
+on_round_end`.  This keeps the client step pure so it can run on any
+:mod:`repro.fl.execution` backend, including forked worker processes whose
+context mutations would otherwise be silently lost.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from ...nn.serialization import (
     zeros_like_state,
 )
 from ..training import ClientResult, local_train
-from .base import FLContext, StateDict, Strategy
+from .base import FLContext, StateDict, Strategy, canonical_results
 
 __all__ = ["Scaffold"]
 
@@ -48,18 +56,23 @@ class Scaffold(Strategy):
         context: FLContext,
     ) -> ClientResult:
         config = context.config
-        seed = config.seed * 100_003 + context.round_index * 1_009 + spec.client_id
+        seed = context.client_seed(spec.client_id)
 
         from ...nn.serialization import set_weights
 
         set_weights(model, global_state)
         param_template = _parameter_state(model)
 
-        server_c: StateDict = context.server_storage.setdefault(
-            "scaffold_c", zeros_like_state(param_template)
-        )
-        storage = context.storage_for(spec.client_id)
-        client_c: StateDict = storage.setdefault("c_i", zeros_like_state(param_template))
+        # Read-only context access: absent control variates mean zeros, but the
+        # shared storage is never written from the (possibly concurrent) client
+        # step — the server materialises state in aggregate / on_round_end.
+        server_c: StateDict = context.server_storage.get("scaffold_c")
+        if server_c is None:
+            server_c = zeros_like_state(param_template)
+        storage = context.client_storage.get(spec.client_id, {})
+        client_c: StateDict = storage.get("c_i")
+        if client_c is None:
+            client_c = zeros_like_state(param_template)
 
         correction = subtract_states(server_c, client_c)  # (c - c_i)
         lr = config.learning_rate
@@ -78,14 +91,16 @@ class Scaffold(Strategy):
                              batch_hook=batch_hook, seed=seed)
         result.metadata["device"] = spec.device
 
-        # Refresh the client control variate (option II).
+        # Refresh the client control variate (option II).  Both the delta (for
+        # the server variate update) and the exact new value (applied to this
+        # client's storage in on_round_end) travel back via metadata.
         num_steps = max(steps["count"], 1)
         local_params = {name: param.data.copy() for name, param in named_params.items()}
         global_params = {name: global_state[name] for name in param_template}
         drift = scale_state(subtract_states(global_params, local_params), 1.0 / (num_steps * lr))
         new_client_c = add_states(subtract_states(client_c, server_c), drift)
         result.metadata["c_delta"] = subtract_states(new_client_c, client_c)
-        storage["c_i"] = new_client_c
+        result.metadata["new_c_i"] = new_client_c
         return result
 
     def aggregate(
@@ -96,10 +111,22 @@ class Scaffold(Strategy):
     ) -> StateDict:
         new_state = super().aggregate(global_state, results, context)
         # Update the server control variate with the average client delta, scaled
-        # by the participation fraction (|S| / N).
-        server_c: StateDict = context.server_storage["scaffold_c"]
-        c_deltas = [result.metadata["c_delta"] for result in results]
+        # by the participation fraction (|S| / N).  Canonical order keeps the
+        # float reduction permutation-invariant.
+        c_deltas = [result.metadata["c_delta"]
+                    for result in canonical_results(results, context)]
         mean_delta = average_states(c_deltas)
+        server_c: StateDict = context.server_storage.get("scaffold_c")
+        if server_c is None:
+            server_c = zeros_like_state(mean_delta)
         fraction = len(results) / context.config.num_clients
         context.server_storage["scaffold_c"] = add_states(server_c, scale_state(mean_delta, fraction))
         return new_state
+
+    def on_round_end(self, context: FLContext, results: List[ClientResult]) -> None:
+        """Apply each client's refreshed control variate, then update the EMA."""
+        for result in results:
+            new_c_i = result.metadata.pop("new_c_i", None)
+            if new_c_i is not None:
+                context.storage_for(result.client_id)["c_i"] = new_c_i
+        super().on_round_end(context, results)

@@ -32,12 +32,18 @@ BatchHook = Callable[[Module, int, int], None]
 
 @dataclass
 class ClientResult:
-    """What a client returns to the server after a round of local training."""
+    """What a client returns to the server after a round of local training.
+
+    ``client_id`` identifies the reporting client (stamped by the execution
+    backend); aggregation uses it to reduce results in canonical order no
+    matter which order the parallel workers completed in.
+    """
 
     state: StateDict
     num_samples: int
     train_loss: float
     init_loss: float
+    client_id: int = -1
     metadata: Dict[str, object] = field(default_factory=dict)
 
 

@@ -19,6 +19,8 @@ __all__ = [
     "vector_to_state_dict",
     "get_weights",
     "set_weights",
+    "clone_state",
+    "states_equal",
     "zeros_like_state",
     "add_states",
     "scale_state",
@@ -59,6 +61,34 @@ def vector_to_state_dict(vector: np.ndarray, template: StateDict) -> StateDict:
     if offset != vector.size:
         raise ValueError("vector length does not match template")
     return result
+
+
+def clone_state(state: StateDict) -> StateDict:
+    """Deep copy of a state dict as contiguous, owned arrays.
+
+    Used to build pickle-safe client payloads for the process execution
+    backend: the copies alias no model buffers (a worker's scratch model keeps
+    training after the result is shipped) and are C-contiguous, so pickling is
+    a flat memory copy.
+    """
+    return {key: np.asarray(value).copy() for key, value in state.items()}
+
+
+def states_equal(a: StateDict, b: StateDict) -> bool:
+    """Exact (bitwise) equality of two state dicts.
+
+    The cross-backend determinism guarantee of :mod:`repro.fl.execution` is
+    *bit-identical* weights, so entries are compared by their raw bytes: equal
+    NaNs compare equal, and ``+0.0`` / ``-0.0`` compare different — unlike
+    value comparison, which would make the guarantee vacuous at those points.
+    """
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        x, y = np.asarray(a[key]), np.asarray(b[key])
+        if x.shape != y.shape or x.dtype != y.dtype or x.tobytes() != y.tobytes():
+            return False
+    return True
 
 
 def zeros_like_state(state: StateDict) -> StateDict:

@@ -14,6 +14,7 @@ per-element Python loops on the hot path.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -23,27 +24,36 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 
-class _GradMode:
-    """Process-wide flag controlling whether operations build the graph."""
+class _GradMode(threading.local):
+    """Per-thread flag controlling whether operations build the graph.
 
-    enabled: bool = True
+    Thread-local rather than process-wide: the FL thread executor trains
+    clients concurrently, and one client's ``no_grad`` evaluation must not
+    switch off graph construction under another client's training step.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
     """Context manager that disables graph construction (like ``torch.no_grad``)."""
 
     def __enter__(self) -> "no_grad":
-        self._prev = _GradMode.enabled
-        _GradMode.enabled = False
+        self._prev = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        _GradMode.enabled = self._prev
+        _GRAD_MODE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` if operations currently record gradient information."""
-    return _GradMode.enabled
+    return _GRAD_MODE.enabled
 
 
 def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -168,7 +178,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         parents = tuple(parents)
-        requires = _GradMode.enabled and any(p.requires_grad for p in parents)
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents

@@ -6,7 +6,7 @@ This package is the library's composable public API (see README):
   dataset/partition, sampler, config overrides, callbacks, seeds) with a full
   JSON round-trip.
 * registries        — string-keyed component registries: strategies, models,
-  datasets, client samplers, simulation callbacks.
+  datasets, client samplers, simulation callbacks, execution backends.
 * :class:`Runner`   — executes specs (multi-seed, dataset-memoising) and
   returns :class:`RunResult` records that plug into the reporting layer.
 
@@ -23,6 +23,7 @@ Example::
 from .registries import (
     CALLBACK_REGISTRY,
     DATASET_REGISTRY,
+    EXECUTOR_REGISTRY,
     MODEL_REGISTRY,
     SAMPLER_REGISTRY,
     STRATEGY_REGISTRY,
@@ -46,4 +47,5 @@ __all__ = [
     "MODEL_REGISTRY",
     "SAMPLER_REGISTRY",
     "CALLBACK_REGISTRY",
+    "EXECUTOR_REGISTRY",
 ]

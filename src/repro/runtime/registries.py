@@ -30,6 +30,7 @@ from ..data.scenes import generate_scene_dataset
 from ..devices.profiles import DEVICE_NAMES, market_shares
 from ..eval.scale import ExperimentScale
 from ..fl.callbacks import CALLBACK_REGISTRY
+from ..fl.execution import EXECUTOR_REGISTRY
 from ..fl.sampling import SAMPLER_REGISTRY
 from ..fl.strategies import STRATEGY_REGISTRY
 from ..nn.models import MODEL_REGISTRY
@@ -43,6 +44,7 @@ __all__ = [
     "MODEL_REGISTRY",
     "SAMPLER_REGISTRY",
     "CALLBACK_REGISTRY",
+    "EXECUTOR_REGISTRY",
 ]
 
 # The strategies that accept HeteroSwitch's ``transform`` constructor argument;

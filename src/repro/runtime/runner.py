@@ -27,7 +27,13 @@ from ..fl.simulation import FederatedSimulation, FLHistory
 from ..fl.strategies import create_strategy
 from ..data.partition import build_client_specs
 from ..nn.layers import Module
-from .registries import CALLBACK_REGISTRY, SAMPLER_REGISTRY, DataBundle, build_dataset
+from .registries import (
+    CALLBACK_REGISTRY,
+    EXECUTOR_REGISTRY,
+    SAMPLER_REGISTRY,
+    DataBundle,
+    build_dataset,
+)
 from .registries import default_train_transform
 from .spec import RunSpec
 
@@ -142,11 +148,15 @@ class Runner:
         sampler = SAMPLER_REGISTRY.create(spec.sampler, **spec.sampler_kwargs)
         callbacks = [CALLBACK_REGISTRY.create(name, **kwargs)
                      for name, kwargs in spec.callbacks.items()]
-        simulation = FederatedSimulation(
-            factory, clients, bundle.test, strategy, config,
-            sampler=sampler, callbacks=callbacks,
-        )
-        return simulation.run()
+        executor = EXECUTOR_REGISTRY.create(spec.executor, max_workers=spec.max_workers)
+        try:
+            simulation = FederatedSimulation(
+                factory, clients, bundle.test, strategy, config,
+                sampler=sampler, callbacks=callbacks, executor=executor,
+            )
+            return simulation.run()
+        finally:
+            executor.close()
 
     def _build_config(self, spec: RunSpec, scale: ExperimentScale,
                       bundle: DataBundle, seed: int) -> FLConfig:

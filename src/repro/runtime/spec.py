@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..eval.scale import ExperimentScale, get_scale
 from ..fl.callbacks import CALLBACK_REGISTRY
 from ..fl.config import FLConfig
+from ..fl.execution import EXECUTOR_REGISTRY, validate_max_workers
 from ..fl.sampling import SAMPLER_REGISTRY
 from ..fl.strategies import STRATEGY_REGISTRY
 from ..nn.models import MODEL_REGISTRY
@@ -67,6 +68,11 @@ class RunSpec:
         Extra arguments for client partitioning (e.g. ``exclude=[...]``).
     sampler / sampler_kwargs:
         Client-sampler registry key and constructor arguments.
+    executor / max_workers:
+        Client-execution backend (``"serial"``, ``"thread"``, ``"process"``)
+        and its worker cap (``None`` = one per CPU core).  Every backend
+        produces bit-identical results, so this is purely a wall-clock knob
+        (federated only).
     scale:
         Scale preset name, or a dict of :class:`ExperimentScale` fields for a
         fully custom scale.
@@ -92,6 +98,8 @@ class RunSpec:
     partition_kwargs: Dict[str, Any] = field(default_factory=dict)
     sampler: str = "uniform"
     sampler_kwargs: Dict[str, Any] = field(default_factory=dict)
+    executor: str = "serial"
+    max_workers: Optional[int] = None
     scale: Union[str, Dict[str, Any]] = "smoke"
     config_overrides: Dict[str, Any] = field(default_factory=dict)
     callbacks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
@@ -113,6 +121,8 @@ class RunSpec:
         if self.kind == "federated":
             _require(STRATEGY_REGISTRY, self.strategy)
             _require(SAMPLER_REGISTRY, self.sampler)
+            _require(EXECUTOR_REGISTRY, self.executor)
+            validate_max_workers(self.max_workers)
             for callback_name in self.callbacks:
                 _require(CALLBACK_REGISTRY, callback_name)
             unknown = set(self.config_overrides) - _FL_CONFIG_FIELDS
@@ -136,6 +146,10 @@ class RunSpec:
                 ignored.append("strategy")
             if self.sampler != RunSpec.sampler:
                 ignored.append("sampler")
+            if self.executor != RunSpec.executor:
+                ignored.append("executor")
+            if self.max_workers is not None:
+                ignored.append("max_workers")
             if ignored:
                 raise ValueError(
                     f"centralized specs do not use {sorted(ignored)}; training is "

@@ -28,7 +28,7 @@ def make_context(ema_value=None, seed=0):
     ema = EMALossTracker()
     if ema_value is not None:
         ema.update(ema_value)
-    return FLContext(config=config, ema=ema, rng=np.random.default_rng(seed))
+    return FLContext(config=config, ema=ema)
 
 
 def make_model(size=8, classes=3):
@@ -158,7 +158,7 @@ class TestAblations:
                           dataset=ArrayDataset(features, labels))
         config = FLConfig(num_clients=2, clients_per_round=1, num_rounds=1,
                           batch_size=4, learning_rate=0.05, task="regression", seed=0)
-        context = FLContext(config=config, ema=EMALossTracker(), rng=rng)
+        context = FLContext(config=config, ema=EMALossTracker())
         context.ema.update(1e6)  # force the switches on
         model = SimpleMLP(32, 1, hidden=8, seed=0)
         strategy = HeteroSwitch(transform=ecg_transform())

@@ -42,6 +42,22 @@ class TestParser:
         assert args.seeds == [0, 1]
         assert args.rounds == 2
 
+    def test_bench_executor_flags_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "--executor", "process", "--workers", "4"])
+        assert args.executor == "process"
+        assert args.workers == 4
+
+    def test_bench_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--executor", "gpu"])
+
+    def test_sweep_executor_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--strategies", "fedavg", "--executor", "thread", "--workers", "2"])
+        assert args.executor == "thread"
+        assert args.workers == 2
+
     def test_bench_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--strategy", "sgd"])
@@ -65,7 +81,8 @@ class TestMain:
         out = capsys.readouterr().out
         for strategy in STRATEGY_REGISTRY:
             assert strategy in out
-        for kind in ("strategies", "models", "datasets", "samplers", "callbacks"):
+        for kind in ("strategies", "models", "datasets", "samplers", "callbacks",
+                     "executors"):
             assert f"{kind}:" in out
 
     def test_run_single_experiment(self, capsys):
@@ -156,6 +173,22 @@ class TestBench:
         second = capsys.readouterr().out
         strip = lambda text: "\n".join(l for l in text.splitlines() if "completed in" not in l)
         assert strip(first) == strip(second)
+
+    def test_bench_workers_without_parallel_executor_fails_cleanly(self, spec_file, capsys):
+        """--workers on an (implicitly) serial run would silently do nothing."""
+        assert main(["bench", "--spec", spec_file, "--workers", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers has no effect with the serial executor" in err
+
+    def test_bench_parallel_executor_matches_serial(self, spec_file, capsys):
+        """--executor/--workers change the wall clock, never the numbers."""
+        assert main(["bench", "--spec", spec_file]) == 0
+        serial = capsys.readouterr().out
+        assert main(["bench", "--spec", spec_file, "--executor", "thread",
+                     "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        strip = lambda text: "\n".join(l for l in text.splitlines() if "completed in" not in l)
+        assert strip(serial) == strip(parallel)
 
 
 class TestSweep:

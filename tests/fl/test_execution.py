@@ -1,0 +1,286 @@
+"""Cross-backend determinism tests for the client-execution engine.
+
+The guarantees under test (see :mod:`repro.fl.execution`):
+
+* a short FL run produces **bit-identical** history metrics and final global
+  weights on the serial, thread, and process backends, for any worker count;
+* every registered strategy's aggregation is **permutation-invariant**: the
+  order client results arrive in cannot change the aggregated state;
+* client randomness derives from ``(seed, round, client_id)`` — the exact
+  stream the pre-executor serial loop used — never from a shared generator.
+"""
+
+import copy
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.ema import EMALossTracker
+from repro.fl.callbacks import Callback
+from repro.fl.config import FLConfig
+from repro.fl.execution import (
+    EXECUTOR_REGISTRY,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    client_rng,
+    create_executor,
+    derive_client_seed,
+    run_client,
+)
+from repro.fl.simulation import FederatedSimulation
+from repro.fl.strategies import FLContext, canonical_results, create_strategy
+from repro.fl.training import local_train
+from repro.nn.serialization import get_weights, states_equal
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+PARALLEL_BACKENDS = [
+    pytest.param("thread", id="thread"),
+    pytest.param("process", id="process",
+                 marks=pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")),
+]
+
+AGGREGATING_STRATEGIES = ["fedavg", "fedprox", "qfedavg", "scaffold"]
+ALL_STRATEGIES = AGGREGATING_STRATEGIES + ["heteroswitch"]
+
+
+def run_simulation(strategy_name, bundle, clients, config, model_fn,
+                   executor="serial", max_workers=None, callbacks=()):
+    """One tiny FL run; returns (history, final global weights)."""
+    backend = create_executor(executor, max_workers=max_workers)
+    with backend:
+        sim = FederatedSimulation(model_fn, clients, bundle.test,
+                                  create_strategy(strategy_name), config,
+                                  callbacks=list(callbacks), executor=backend)
+        history = sim.run()
+    return history, sim.global_state
+
+
+def assert_bit_identical(reference, candidate):
+    """Histories and final weights match exactly (floats compared with ==)."""
+    ref_history, ref_state = reference
+    cand_history, cand_state = candidate
+    assert [r.selected_clients for r in cand_history.rounds] == \
+        [r.selected_clients for r in ref_history.rounds]
+    assert [r.mean_train_loss for r in cand_history.rounds] == \
+        [r.mean_train_loss for r in ref_history.rounds]
+    assert [r.ema_loss for r in cand_history.rounds] == \
+        [r.ema_loss for r in ref_history.rounds]
+    assert cand_history.per_device_metric == ref_history.per_device_metric
+    assert states_equal(ref_state, cand_state)
+
+
+# Serial baselines are deterministic; compute each experiment's once per module.
+_SERIAL_BASELINE = {}
+
+
+def serial_baseline(strategy_name, bundle, clients, config, model_fn):
+    # Key on the full experiment identity (fixtures are session/function-scoped
+    # but deterministic; the frozen config hashes) so a future caller with a
+    # different setup cannot be handed another experiment's baseline.
+    key = (strategy_name, config, id(bundle), len(clients))
+    if key not in _SERIAL_BASELINE:
+        _SERIAL_BASELINE[key] = run_simulation(
+            strategy_name, bundle, clients, config, model_fn)
+    return _SERIAL_BASELINE[key]
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+    def test_backend_matches_serial(self, strategy_name, backend, tiny_bundle,
+                                    tiny_clients, tiny_fl_config, tiny_model_fn):
+        reference = serial_baseline(strategy_name, tiny_bundle, tiny_clients,
+                                    tiny_fl_config, tiny_model_fn)
+        candidate = run_simulation(strategy_name, tiny_bundle, tiny_clients,
+                                   tiny_fl_config, tiny_model_fn, executor=backend)
+        assert_bit_identical(reference, candidate)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_irrelevant(self, backend, workers, tiny_bundle,
+                                     tiny_clients, tiny_fl_config, tiny_model_fn):
+        reference = serial_baseline("fedavg", tiny_bundle, tiny_clients,
+                                    tiny_fl_config, tiny_model_fn)
+        candidate = run_simulation("fedavg", tiny_bundle, tiny_clients,
+                                   tiny_fl_config, tiny_model_fn,
+                                   executor=backend, max_workers=workers)
+        assert_bit_identical(reference, candidate)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_executor_reusable_after_close(self, backend, tiny_bundle, tiny_clients,
+                                           tiny_fl_config, tiny_model_fn):
+        """close() releases pools but the executor lazily re-creates them."""
+        executor = create_executor(backend, max_workers=2)
+        first = run_simulation("fedavg", tiny_bundle, tiny_clients,
+                               tiny_fl_config, tiny_model_fn)
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  create_strategy("fedavg"), tiny_fl_config,
+                                  executor=executor)
+        history_a = sim.run()
+        executor.close()
+        sim_b = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                    create_strategy("fedavg"), tiny_fl_config,
+                                    executor=executor)
+        history_b = sim_b.run()
+        executor.close()
+        assert_bit_identical(first, (history_a, sim.global_state))
+        assert_bit_identical(first, (history_b, sim_b.global_state))
+
+
+class TestExecutorRegistry:
+    def test_backends_registered(self):
+        assert {"serial", "thread", "process"} <= set(EXECUTOR_REGISTRY)
+
+    def test_create_executor_types(self):
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        assert isinstance(create_executor("thread", max_workers=2), ThreadExecutor)
+        assert isinstance(create_executor("process"), ProcessExecutor)
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(KeyError, match="serial"):
+            create_executor("gpu")
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "four"])
+    def test_invalid_max_workers_rejected(self, bad):
+        with pytest.raises(ValueError):
+            create_executor("thread", max_workers=bad)
+
+
+def make_round_results(strategy_name, num_clients=3, seed=0):
+    """Real client updates for one synthetic round, plus the server context."""
+    from repro.data.dataset import ArrayDataset
+    from repro.data.partition import ClientSpec
+    from repro.nn.models import SimpleMLP
+
+    config = FLConfig(num_clients=num_clients, clients_per_round=num_clients,
+                      num_rounds=1, batch_size=4, learning_rate=0.1, seed=seed)
+    context = FLContext(config=config, ema=EMALossTracker())
+    context.ema.update(1.0)
+    # NCHW image batches so HeteroSwitch's ISP transform applies unchanged.
+    model = SimpleMLP(3 * 4 * 4, 2, hidden=8, seed=0)
+    global_state = get_weights(model)
+    strategy = create_strategy(strategy_name)
+    rng = np.random.default_rng(seed)
+
+    results = []
+    for client_id in range(num_clients):
+        features = np.clip(rng.random((8, 3, 4, 4)), 0, 1)
+        labels = (features.reshape(8, -1)[:, 0] > 0.5).astype(int)
+        spec = ClientSpec(client_id=client_id, device="S6",
+                          dataset=ArrayDataset(features, labels))
+        results.append(run_client(strategy, model, spec, global_state, context))
+    context.round_selection = [2, 0, 1][:num_clients]  # arbitrary but fixed order
+    return strategy, global_state, results, context
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("strategy_name", AGGREGATING_STRATEGIES)
+    def test_aggregate_is_permutation_invariant(self, strategy_name):
+        strategy, global_state, results, context = make_round_results(strategy_name)
+        baseline = strategy.aggregate(global_state, list(results),
+                                      copy.deepcopy(context))
+        for permutation_seed in range(3):
+            shuffled = list(results)
+            np.random.default_rng(permutation_seed).shuffle(shuffled)
+            aggregated = strategy.aggregate(global_state, shuffled,
+                                            copy.deepcopy(context))
+            assert states_equal(baseline, aggregated)
+
+    @pytest.mark.parametrize("strategy_name", AGGREGATING_STRATEGIES)
+    def test_on_round_end_is_permutation_invariant(self, strategy_name):
+        strategy, _, results, context = make_round_results(strategy_name)
+        ctx_a, ctx_b = copy.deepcopy(context), copy.deepcopy(context)
+        shuffled = list(results)
+        np.random.default_rng(7).shuffle(shuffled)
+        strategy.on_round_end(ctx_a, copy.deepcopy(results))
+        strategy.on_round_end(ctx_b, copy.deepcopy(shuffled))
+        assert ctx_a.ema.value == ctx_b.ema.value
+
+    def test_canonical_order_without_selection_sorts_by_client_id(self):
+        strategy, _, results, context = make_round_results("fedavg")
+        context.round_selection = []
+        ordered = canonical_results(list(reversed(results)), context)
+        assert [r.client_id for r in ordered] == sorted(r.client_id for r in results)
+
+    def test_canonical_order_follows_round_selection(self):
+        strategy, _, results, context = make_round_results("fedavg")
+        ordered = canonical_results(list(reversed(results)), context)
+        assert [r.client_id for r in ordered] == context.round_selection
+
+
+class _EntropyConsumer(Callback):
+    """Simulates a rogue co-tenant drawing randomness between client updates."""
+
+    def on_round_start(self, sim, round_index):
+        np.random.rand(5)
+        sim.context.client_rng(0).normal(size=3)
+        client_rng(sim.config.seed, round_index, 99).random(4)
+
+
+class TestDerivedClientStreams:
+    def test_seed_formula_frozen(self):
+        """Regression: the stream derivation is the pre-refactor inline formula.
+
+        These constants pin every historical benchmark number; a serial run's
+        metrics are unchanged by the executor refactor because each client
+        still trains with exactly this seed.
+        """
+        for seed, round_index, client_id in [(0, 0, 0), (3, 7, 11), (2, 19, 5)]:
+            assert derive_client_seed(seed, round_index, client_id) == \
+                seed * 100_003 + round_index * 1_009 + client_id
+
+    def test_context_has_no_shared_rng(self):
+        config = FLConfig(num_clients=2, clients_per_round=1, num_rounds=1)
+        context = FLContext(config=config, ema=EMALossTracker())
+        assert not hasattr(context, "rng")
+
+    def test_client_rng_is_fresh_per_call(self):
+        config = FLConfig(num_clients=2, clients_per_round=1, num_rounds=1, seed=5)
+        context = FLContext(config=config, ema=EMALossTracker(), round_index=3)
+        first = context.client_rng(1).random(4)
+        second = context.client_rng(1).random(4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_metrics_immune_to_external_rng_consumption(self, tiny_bundle, tiny_clients,
+                                                        tiny_fl_config, tiny_model_fn):
+        """Serial-run regression: results cannot depend on shared RNG traffic."""
+        clean = run_simulation("heteroswitch", tiny_bundle, tiny_clients,
+                               tiny_fl_config, tiny_model_fn)
+        noisy = run_simulation("heteroswitch", tiny_bundle, tiny_clients,
+                               tiny_fl_config, tiny_model_fn,
+                               callbacks=[_EntropyConsumer()])
+        assert_bit_identical(clean, noisy)
+
+    def test_executor_reproduces_legacy_client_computation(self, tiny_bundle, tiny_clients,
+                                                           tiny_fl_config, tiny_model_fn):
+        """Serial-run regression: the executor path yields bit for bit the
+        legacy per-client computation — plain ``local_train`` seeded with the
+        historical ``(seed, round, client_id)`` formula."""
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  create_strategy("fedavg"), tiny_fl_config)
+        global_before = sim.global_state
+        sim.context.round_index = 0
+        selected = sim.select_clients(0)
+        sim.context.round_selection = [spec.client_id for spec in selected]
+        results = sim.executor.run_round(sim.strategy, tiny_model_fn, selected,
+                                         global_before, sim.context)
+        for spec, result in zip(selected, results):
+            seed = derive_client_seed(tiny_fl_config.seed, 0, spec.client_id)
+            expected = local_train(tiny_model_fn(), spec.dataset, tiny_fl_config,
+                                   global_before, seed=seed)
+            assert result.client_id == spec.client_id
+            assert states_equal(result.state, expected.state)
+            assert result.train_loss == expected.train_loss
+            assert result.init_loss == expected.init_loss
+
+
+class TestReadOnlyClientContext:
+    @pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+    def test_client_update_never_writes_context(self, strategy_name):
+        """The contract that makes process workers safe: client steps only read."""
+        strategy, global_state, _, context = make_round_results(strategy_name)
+        assert context.client_storage == {}
+        assert context.server_storage == {}

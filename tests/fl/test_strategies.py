@@ -24,7 +24,7 @@ from repro.nn.serialization import get_weights, state_dict_to_vector
 def make_context(config=None, seed=0):
     config = config or FLConfig(num_clients=4, clients_per_round=2, num_rounds=1,
                                 batch_size=4, learning_rate=0.1, seed=seed)
-    return FLContext(config=config, ema=EMALossTracker(), rng=np.random.default_rng(seed))
+    return FLContext(config=config, ema=EMALossTracker())
 
 
 def make_spec(client_id=0, device="S6", n=12, seed=0):
@@ -169,40 +169,47 @@ class TestFedProx:
 
 
 class TestScaffold:
-    def test_control_variates_created(self):
+    def test_client_update_leaves_context_untouched(self):
+        """Client steps are context-read-only so they can run in any worker."""
         strategy = Scaffold()
         context = make_context()
         model = SimpleMLP(5, 2, hidden=8, seed=0)
         spec = make_spec()
         strategy.client_update(model, spec, get_weights(model), context)
-        assert "scaffold_c" in context.server_storage
-        assert "c_i" in context.client_storage[spec.client_id]
+        assert context.server_storage == {}
+        assert context.client_storage == {}
 
-    def test_client_control_variate_nonzero_after_update(self):
+    def test_on_round_end_applies_client_control_variate(self):
         strategy = Scaffold()
         context = make_context()
         model = SimpleMLP(5, 2, hidden=8, seed=0)
         spec = make_spec()
-        strategy.client_update(model, spec, get_weights(model), context)
+        result = strategy.client_update(model, spec, get_weights(model), context)
+        result.client_id = spec.client_id
+        strategy.on_round_end(context, [result])
         c_i = context.client_storage[spec.client_id]["c_i"]
         assert any(np.abs(value).max() > 0 for value in c_i.values())
+        # The shipped state was applied verbatim and removed from the payload.
+        assert "new_c_i" not in result.metadata
 
-    def test_aggregate_updates_server_control(self):
+    def test_aggregate_creates_and_updates_server_control(self):
         strategy = Scaffold()
         context = make_context()
         model = SimpleMLP(5, 2, hidden=8, seed=0)
         global_state = get_weights(model)
         results = [strategy.client_update(model, make_spec(i, seed=i), global_state, context)
                    for i in range(2)]
-        before = {k: v.copy() for k, v in context.server_storage["scaffold_c"].items()}
+        for i, result in enumerate(results):
+            result.client_id = i
+        assert "scaffold_c" not in context.server_storage
         strategy.aggregate(global_state, results, context)
         after = context.server_storage["scaffold_c"]
-        changed = any(not np.allclose(before[k], after[k]) for k in before)
-        assert changed
+        assert any(np.abs(value).max() > 0 for value in after.values())
 
-    def test_c_delta_in_metadata(self):
+    def test_c_delta_and_new_c_i_in_metadata(self):
         strategy = Scaffold()
         context = make_context()
         model = SimpleMLP(5, 2, hidden=8, seed=0)
         result = strategy.client_update(model, make_spec(), get_weights(model), context)
         assert "c_delta" in result.metadata
+        assert "new_c_i" in result.metadata

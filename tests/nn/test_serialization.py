@@ -9,11 +9,13 @@ from repro.nn.layers import Linear, Sequential, ReLU
 from repro.nn.serialization import (
     add_states,
     average_states,
+    clone_state,
     get_weights,
     scale_state,
     set_weights,
     state_dict_to_vector,
     state_norm,
+    states_equal,
     subtract_states,
     vector_to_state_dict,
     zeros_like_state,
@@ -133,3 +135,34 @@ class TestAverageStates:
         state = {"w": np.asarray(values)}
         avg = average_states([state, state, state], [weight, weight, weight])
         np.testing.assert_allclose(avg["w"], state["w"], atol=1e-9)
+
+
+class TestCloneState:
+    def test_copies_are_independent_and_contiguous(self):
+        state = {"w": np.arange(8.0).reshape(2, 4)[:, ::2]}  # non-contiguous view
+        cloned = clone_state(state)
+        assert cloned["w"].flags["C_CONTIGUOUS"]
+        assert not np.shares_memory(cloned["w"], state["w"])
+        cloned["w"][0, 0] = 99.0
+        assert state["w"][0, 0] == 0.0
+
+
+class TestStatesEqual:
+    def test_equal_states(self):
+        a = {"w": np.array([1.0, 2.0]), "b": np.zeros(3)}
+        assert states_equal(a, clone_state(a))
+
+    def test_value_difference_detected(self):
+        a = {"w": np.array([1.0])}
+        assert not states_equal(a, {"w": np.array([np.nextafter(1.0, 2.0)])})
+        assert not states_equal(a, {"w": np.array([1.0, 1.0])})
+        assert not states_equal(a, {"v": np.array([1.0])})
+
+    def test_bitwise_semantics(self):
+        # Equal NaN payloads are bit-identical; +0.0 and -0.0 are not.
+        assert states_equal({"w": np.array([np.nan])}, {"w": np.array([np.nan])})
+        assert not states_equal({"w": np.array([0.0])}, {"w": np.array([-0.0])})
+
+    def test_dtype_mismatch_detected(self):
+        assert not states_equal({"w": np.zeros(2, dtype=np.float64)},
+                                {"w": np.zeros(2, dtype=np.float32)})

@@ -74,6 +74,31 @@ class TestValidation:
         with pytest.raises(ValueError, match="trainer_kwargs only applies"):
             RunSpec(trainer_kwargs={"averager": "swad"})
 
+    def test_unknown_executor_lists_available(self):
+        with pytest.raises(KeyError, match="unknown executor 'gpu'.*process"):
+            RunSpec(executor="gpu")
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, True, "four"])
+    def test_invalid_max_workers_rejected(self, bad):
+        with pytest.raises(ValueError, match="max_workers"):
+            RunSpec(max_workers=bad)
+
+    def test_executor_defaults_serial(self):
+        spec = RunSpec()
+        assert spec.executor == "serial"
+        assert spec.max_workers is None
+
+    def test_parallel_executor_valid(self):
+        spec = RunSpec(executor="process", max_workers=4)
+        assert spec.executor == "process"
+        assert spec.max_workers == 4
+
+    def test_centralized_rejects_executor_fields(self):
+        with pytest.raises(ValueError, match="centralized specs do not use.*executor"):
+            RunSpec(kind="centralized", dataset="scenes", executor="process")
+        with pytest.raises(ValueError, match="centralized specs do not use.*max_workers"):
+            RunSpec(kind="centralized", dataset="scenes", max_workers=2)
+
     def test_centralized_rejects_silently_ignored_fields(self):
         with pytest.raises(ValueError, match="centralized specs do not use.*config_overrides"):
             RunSpec(kind="centralized", dataset="scenes",
@@ -97,6 +122,8 @@ class TestSerialization:
             dataset="device_capture",
             dataset_kwargs={"devices": ["Pixel5", "S6"]},
             sampler="round_robin",
+            executor="process",
+            max_workers=4,
             scale="smoke",
             config_overrides={"num_rounds": 2, "learning_rate": 0.05},
             callbacks={"early_stopping": {"patience": 2}},
@@ -122,6 +149,12 @@ class TestSerialization:
         data = spec.to_dict()
         data["dataset_kwargs"]["devices"].append("G7")
         assert spec.dataset_kwargs["devices"] == ["Pixel5", "S6"]
+
+    def test_legacy_spec_without_executor_defaults_serial(self):
+        """Spec files written before the execution engine still load."""
+        spec = RunSpec.from_dict({"strategy": "fedavg", "dataset": "device_capture"})
+        assert spec.executor == "serial"
+        assert spec.max_workers is None
 
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(ValueError, match="unknown RunSpec field.*optimizer"):
