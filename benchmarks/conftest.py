@@ -62,9 +62,10 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 
-    The regenerated table is also written to ``benchmarks/results/<id>.md`` so
-    the rows survive pytest's stdout capture and can be cross-referenced from
-    EXPERIMENTS.md.
+    The regenerated table is also written to ``benchmarks/results/<id>.md``
+    (human-readable, survives pytest's stdout capture) and
+    ``benchmarks/results/<id>.json`` (the full ``ExperimentResult`` record,
+    reloadable via ``ExperimentResult.from_json`` for downstream tooling).
     """
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     experiment_id = getattr(result, "experiment_id", None)
@@ -73,4 +74,7 @@ def run_once(benchmark, fn, *args, **kwargs):
         path = os.path.join(RESULTS_DIR, f"{experiment_id}.md")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(result.to_markdown() + "\n")
+        json_path = os.path.join(RESULTS_DIR, f"{experiment_id}.json")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
     return result

@@ -12,9 +12,11 @@ Taming System-Induced Data Heterogeneity in Federated Learning" (MLSys 2024):
   random ISP transforms, SWAD).
 * :mod:`repro.runtime` — declarative RunSpec API, component registries and the
   composable experiment Runner.
+* :mod:`repro.store`   — persistent run store: crash-safe checkpoints and
+  bit-identical resume.
 * :mod:`repro.eval`    — experiment runners that regenerate every table/figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

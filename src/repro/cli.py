@@ -16,7 +16,10 @@ JSON file and/or CLI overrides); ``sweep`` replicates a spec over a strategy
 grid and multiple seeds and reports mean ± std summaries.  Both accept
 ``--executor {serial,thread,process}`` and ``--workers N`` to fan client
 training out over a worker pool — results are bit-identical across backends,
-only the wall clock changes.
+only the wall clock changes — plus ``--store DIR``, ``--checkpoint-every N``
+and ``--resume`` for durable, crash-safe runs: a killed bench/sweep resumes
+from its newest checkpoints with bitwise-identical final results.  ``runs
+list`` / ``runs show RUN_ID`` inspect a store.
 """
 
 from __future__ import annotations
@@ -27,9 +30,10 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from . import __version__
 from .eval.experiments import EXPERIMENTS, run_experiment
 from .eval.reporting import write_report
-from .eval.results import ExperimentResult
+from .eval.results import ExperimentResult, format_table
 from .eval.scale import SCALES
 from .runtime import (
     CALLBACK_REGISTRY,
@@ -40,7 +44,9 @@ from .runtime import (
     STRATEGY_REGISTRY,
     Runner,
     RunSpec,
+    RunStore,
 )
+from .store import CheckpointError, RunStoreError
 
 __all__ = ["build_parser", "main"]
 
@@ -77,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the tables and figures of the HeteroSwitch paper.",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments and registries")
@@ -110,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="strategy grid (default: the spec's strategy)")
     sweep_parser.add_argument("--output", default=None,
                               help="directory to write a markdown report and CSV into")
+
+    runs_parser = subparsers.add_parser(
+        "runs", help="inspect the persistent run store")
+    runs_sub = runs_parser.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list runs in the store")
+    runs_list.add_argument("--store", default="runs",
+                           help="run-store directory (default: runs)")
+    runs_show = runs_sub.add_parser("show", help="show one run's manifest and result")
+    runs_show.add_argument("run_id", help="run id as printed by 'runs list'")
+    runs_show.add_argument("--store", default="runs",
+                           help="run-store directory (default: runs)")
     return parser
 
 
@@ -131,10 +149,31 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                              "only wall clock changes)")
     parser.add_argument("--workers", type=int, default=None,
                         help="max parallel client workers (default: one per CPU core)")
+    parser.add_argument("--store", default=None,
+                        help="run-store directory for durable checkpoints/results "
+                             "(default: 'runs' when --checkpoint-every/--resume is "
+                             "given, otherwise no store)")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="write a crash-safe checkpoint every N rounds "
+                             "(0 = final snapshot only)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip seeds already completed in the store and "
+                             "continue partial seeds from their newest checkpoint")
 
 
 class SpecError(Exception):
     """A RunSpec could not be assembled from the CLI arguments."""
+
+
+def _build_runner(args: argparse.Namespace) -> Runner:
+    """Runner for bench/sweep, with a store when durability flags ask for one."""
+    store = args.store
+    if store is None and (args.checkpoint_every is not None or args.resume):
+        store = "runs"
+    try:
+        return Runner(store=store, checkpoint_every=args.checkpoint_every)
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
 
 
 def _build_spec(args: argparse.Namespace) -> RunSpec:
@@ -230,13 +269,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         try:
             spec = _build_spec(args)
+            runner = _build_runner(args)
         except SpecError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         start = time.time()
-        result = Runner().run(spec).to_experiment_result("bench")
+        try:
+            result = runner.run(spec, resume=args.resume).to_experiment_result("bench")
+        except (ValueError, RunStoreError, CheckpointError) as exc:
+            print(f"error: {_message(exc)}", file=sys.stderr)
+            return 2
         elapsed = time.time() - start
         _emit(result, args.output)
+        if runner.store is not None:
+            print(f"\n[run store: {runner.store.root}]")
         print(f"\n[bench '{spec.label}' completed in {elapsed:.1f}s "
               f"over {len(spec.seeds)} seed(s)]")
         return 0
@@ -244,20 +290,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "sweep":
         try:
             spec = _build_spec(args)
+            runner = _build_runner(args)
         except SpecError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         strategies = args.strategies or [spec.strategy]
-        runner = Runner()
         rows: List[List[object]] = []
         scalars = {}
         for strategy in strategies:
             try:
                 variant = spec.with_overrides(strategy=strategy, name=strategy)
-            except (KeyError, ValueError) as exc:
+                run_result = runner.run(variant, resume=args.resume)
+            except (KeyError, ValueError, RunStoreError, CheckpointError) as exc:
                 print(f"error: {_message(exc)}", file=sys.stderr)
                 return 2
-            run_result = runner.run(variant)
             for seed, summary in zip(run_result.seeds, run_result.per_seed_summaries()):
                 rows.append([strategy, seed, summary["worst_case"],
                              summary["variance"], summary["average"]])
@@ -274,10 +320,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             metadata={"spec": spec.to_dict(), "strategies": list(strategies)},
         )
         _emit(result, args.output)
+        if runner.store is not None:
+            print(f"\n[run store: {runner.store.root}]")
         return 0
+
+    if args.command == "runs":
+        return _runs_command(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def _runs_command(args: argparse.Namespace) -> int:
+    """Implement ``runs list`` / ``runs show`` over a :class:`RunStore`."""
+    store = RunStore(args.store)
+    if args.runs_command == "list":
+        entries = store.list_runs()
+        if not entries:
+            print(f"no runs in store '{args.store}'")
+            return 0
+        rows: List[List[object]] = []
+        for entry in entries:
+            try:
+                manifest = entry.manifest()
+            except RunStoreError as exc:
+                print(f"error: {_message(exc)}", file=sys.stderr)
+                return 2
+            spec = manifest.get("spec", {})
+            rows.append([
+                entry.run_id,
+                manifest.get("status", "?"),
+                spec.get("strategy", "?"),
+                spec.get("dataset", "?"),
+                manifest.get("seed", "?"),
+                f"{manifest.get('rounds_completed', '?')}/{manifest.get('num_rounds', '?')}",
+                len(entry.checkpoint_files()),
+            ])
+        print(format_table(
+            ["run", "status", "strategy", "dataset", "seed", "rounds", "checkpoints"],
+            rows,
+        ))
+        return 0
+
+    # runs show RUN_ID
+    try:
+        entry = store.get(args.run_id)
+        manifest = entry.manifest()
+    except RunStoreError as exc:
+        print(f"error: {_message(exc)}", file=sys.stderr)
+        return 2
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    checkpoints = [path.name for path in entry.checkpoint_files()]
+    print(f"checkpoints: {', '.join(checkpoints) if checkpoints else '(none)'}")
+    if entry.has_result():
+        try:
+            result = entry.load_result()
+        except RunStoreError as exc:
+            print(f"error: {_message(exc)}", file=sys.stderr)
+            return 2
+        print(f"fingerprint: {result['fingerprint']}")
+        print(format_table(["device", "metric"],
+                           sorted(result["metrics"].items())))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

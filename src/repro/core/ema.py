@@ -73,3 +73,14 @@ class EMALossTracker:
         """Forget all state (used between independent FL runs)."""
         self._value = None
         self._history.clear()
+
+    # -- persistence (checkpoint/resume) -------------------------------- #
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the tracker (exact float round trip)."""
+        return {"value": self._value, "history": list(self._history)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        value = state["value"]
+        self._value = None if value is None else float(value)
+        self._history = [float(v) for v in state["history"]]

@@ -36,8 +36,12 @@ def write_report(
     output_dir: "str | Path",
     title: str = "HeteroSwitch reproduction report",
 ) -> Path:
-    """Write a markdown report plus per-experiment CSVs under ``output_dir``.
+    """Write a markdown report plus per-experiment CSV and JSON files under
+    ``output_dir``.
 
+    The JSON files round-trip through
+    :meth:`~repro.eval.results.ExperimentResult.from_json`, so downstream
+    tooling can reload the exact result records instead of re-parsing tables.
     Returns the path of the markdown report.
     """
     output_path = Path(output_dir)
@@ -47,4 +51,5 @@ def write_report(
     report_file.write_text(results_to_markdown(results, title=title))
     for result in results:
         (output_path / f"{result.experiment_id}.csv").write_text(result_to_csv(result))
+        (output_path / f"{result.experiment_id}.json").write_text(result.to_json() + "\n")
     return report_file

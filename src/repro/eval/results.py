@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence
 
@@ -61,6 +63,32 @@ class ExperimentResult:
             parts.append("")
             parts.append(format_mapping(self.scalars, key_header="metric", value_header="value"))
         return "\n".join(parts)
+
+    # -- serialization ------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data dict representation (deep-copied via dataclasses)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; unknown keys raise a listing error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentResult field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering; non-JSON metadata values fall back to ``str``."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Parse a result from its JSON rendering."""
+        return cls.from_dict(json.loads(text))
 
     def scalar(self, name: str) -> float:
         """Fetch a headline scalar, raising a helpful error if missing."""

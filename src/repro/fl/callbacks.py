@@ -21,6 +21,7 @@ trigger an evaluation (``sim.evaluate()``), request a graceful stop
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 import numpy as np
@@ -38,6 +39,7 @@ __all__ = [
     "PeriodicEvaluation",
     "EarlyStopping",
     "RoundLogger",
+    "CheckpointCallback",
     "CALLBACK_REGISTRY",
     "create_callback",
 ]
@@ -100,7 +102,7 @@ class CallbackList(Callback):
 
 
 class SwitchTelemetry(Callback):
-    """Fills per-round HeteroSwitch switch counts and accumulates run totals.
+    """Fills per-round HeteroSwitch switch counts and records run totals.
 
     This is the bookkeeping the simulation loop used to hard-code: it reads
     each client result's ``metadata["switch"]`` decision and records how many
@@ -109,20 +111,18 @@ class SwitchTelemetry(Callback):
 
     name = "switch_telemetry"
 
-    def __init__(self) -> None:
-        self.total_switch1 = 0
-        self.total_switch2 = 0
-
     def on_round_end(self, sim, record, results) -> None:
         switch_info = [result.metadata.get("switch") for result in results]
         record.num_switch1 = sum(1 for s in switch_info if s is not None and s.switch1)
         record.num_switch2 = sum(1 for s in switch_info if s is not None and s.switch2)
-        self.total_switch1 += record.num_switch1
-        self.total_switch2 += record.num_switch2
 
     def on_run_end(self, sim, history) -> None:
-        history.metadata["total_switch1"] = self.total_switch1
-        history.metadata["total_switch2"] = self.total_switch2
+        # Derive totals from the round records rather than the instance
+        # counters: a run resumed from a checkpoint replays only the remaining
+        # rounds through this instance, but its restored history carries every
+        # earlier record — so the totals stay identical to an uninterrupted run.
+        history.metadata["total_switch1"] = sum(r.num_switch1 for r in history.rounds)
+        history.metadata["total_switch2"] = sum(r.num_switch2 for r in history.rounds)
 
 
 class PeriodicEvaluation(Callback):
@@ -178,15 +178,28 @@ class EarlyStopping(Callback):
         self.best = np.inf
         self.stale_rounds = 0
         self.stopped_at = None
+        # A resumed run starts with a restored partial history: replay it so
+        # best/patience pick up exactly where the interrupted run left off.
+        # If the restored rounds already exhausted the patience (the run was
+        # killed after its stopping round but before the result landed), stop
+        # before training any further round — otherwise the resumed run would
+        # diverge from the uninterrupted one.
+        for record in history.rounds:
+            if self._observe(getattr(record, self.monitor)):
+                self.stopped_at = record.round_index
+                sim.request_stop()
 
-    def on_round_end(self, sim, record, results) -> None:
-        value = getattr(record, self.monitor)
+    def _observe(self, value: float) -> bool:
+        """Fold one monitored value in; returns True when patience ran out."""
         if value < self.best - self.min_delta:
             self.best = value
             self.stale_rounds = 0
-            return
+            return False
         self.stale_rounds += 1
-        if self.stale_rounds >= self.patience:
+        return self.stale_rounds >= self.patience
+
+    def on_round_end(self, sim, record, results) -> None:
+        if self._observe(getattr(record, self.monitor)):
             self.stopped_at = record.round_index
             sim.request_stop()
 
@@ -214,11 +227,55 @@ class RoundLogger(Callback):
             )
 
 
+class CheckpointCallback(Callback):
+    """Writes crash-safe simulation snapshots while the run progresses.
+
+    Every ``every`` rounds (and always at run end, as ``final.npz``) the full
+    simulation snapshot — global weights, strategy state, EMA tracker,
+    history so far — is persisted to ``directory`` via the atomic codec of
+    :mod:`repro.store.checkpoint`.  A run killed at any point resumes from
+    the newest checkpoint with bitwise-identical final weights and metrics
+    (see :class:`repro.store.RunStore`, which wires this callback up for
+    ``Runner``/CLI runs; it is also usable standalone with a bare directory).
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files go (created on first write).
+    every:
+        Checkpoint cadence in rounds; ``0`` writes only the final snapshot.
+    """
+
+    name = "checkpoint"
+
+    def __init__(self, directory, every: int = 1) -> None:
+        if isinstance(every, bool) or not isinstance(every, int) or every < 0:
+            raise ValueError(f"every must be a non-negative integer, got {every!r}")
+        self.directory = Path(directory)
+        self.every = every
+
+    def _write(self, sim: "FederatedSimulation", filename: str) -> None:
+        # Local import: repro.store builds on fl.simulation's snapshot format,
+        # so the dependency points store -> fl everywhere but this one hook.
+        from ..store.checkpoint import write_checkpoint
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        write_checkpoint(self.directory / filename, sim.snapshot())
+
+    def on_round_end(self, sim, record, results) -> None:
+        if self.every and (record.round_index + 1) % self.every == 0:
+            self._write(sim, f"round_{record.round_index + 1:05d}.npz")
+
+    def on_run_end(self, sim, history) -> None:
+        self._write(sim, "final.npz")
+
+
 CALLBACK_REGISTRY: Registry[Callback] = Registry("callback", {
     "switch_telemetry": SwitchTelemetry,
     "eval_every": PeriodicEvaluation,
     "early_stopping": EarlyStopping,
     "round_logger": RoundLogger,
+    "checkpoint": CheckpointCallback,
 })
 
 

@@ -21,8 +21,9 @@ order (see :mod:`repro.fl.execution` for the full determinism contract).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +57,22 @@ class RoundRecord:
     num_switch1: int = 0
     num_switch2: int = 0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (floats round-trip exactly through ``json``)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            round_index=int(data["round_index"]),
+            selected_clients=[int(c) for c in data["selected_clients"]],
+            mean_train_loss=float(data["mean_train_loss"]),
+            ema_loss=float(data["ema_loss"]),
+            num_switch1=int(data.get("num_switch1", 0)),
+            num_switch2=int(data.get("num_switch2", 0)),
+        )
+
 
 @dataclass
 class FLHistory:
@@ -77,6 +94,31 @@ class FLHistory:
         if not self.rounds:
             raise RuntimeError("no rounds recorded")
         return self.rounds[-1].mean_train_loss
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering of the full history.
+
+        ``metadata`` must hold JSON-serializable values for the run store to
+        persist it; the built-in callbacks only write ints/floats/lists.
+        """
+        return {
+            "strategy": self.strategy,
+            "rounds": [record.to_dict() for record in self.rounds],
+            "per_device_metric": dict(self.per_device_metric),
+            "evaluations": [dict(e) for e in self.evaluations],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FLHistory":
+        """Inverse of :meth:`to_dict` (used by checkpoint restore)."""
+        return cls(
+            strategy=str(data["strategy"]),
+            rounds=[RoundRecord.from_dict(r) for r in data.get("rounds", [])],
+            per_device_metric=dict(data.get("per_device_metric", {})),
+            evaluations=[dict(e) for e in data.get("evaluations", [])],
+            metadata=dict(data.get("metadata", {})),
+        )
 
 
 class FederatedSimulation:
@@ -154,6 +196,7 @@ class FederatedSimulation:
         self._history: Optional[FLHistory] = None
         self._active_callbacks: Optional[CallbackList] = None
         self._stop_requested = False
+        self._resume: Optional[Tuple[FLHistory, int]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -180,6 +223,60 @@ class FederatedSimulation:
     def request_stop(self) -> None:
         """Ask :meth:`run` to stop gracefully after the current round."""
         self._stop_requested = True
+
+    # -- checkpoint / resume ------------------------------------------- #
+    def snapshot(self) -> Dict[str, object]:
+        """Everything a bit-identical resume needs, as a checkpointable tree.
+
+        The tree holds the global weights, the strategy's persistent state
+        (:meth:`~repro.fl.strategies.base.Strategy.state_dict`), the EMA loss
+        tracker and the history so far.  Client sampling and per-client RNG
+        streams are pure functions of ``(seed, round)``, so they need no
+        state: restoring this snapshot into a freshly-built simulation of the
+        same spec and continuing from ``next_round`` reproduces the
+        uninterrupted run exactly (see :mod:`repro.store`).
+
+        Only callable while a run is active (or just finished): the snapshot
+        is anchored to the run's history.
+        """
+        if self._history is None:
+            raise RuntimeError("snapshot() requires an active or completed run")
+        history = self._history
+        next_round = history.rounds[-1].round_index + 1 if history.rounds else 0
+        return {
+            "strategy": self.strategy.name,
+            "seed": self.config.seed,
+            "next_round": next_round,
+            "global_state": self.global_state,
+            "strategy_state": self.strategy.state_dict(self.context),
+            "ema": self.context.ema.state_dict(),
+            "history": history.to_dict(),
+        }
+
+    def restore(self, snapshot: Mapping[str, object]) -> None:
+        """Load a :meth:`snapshot` so the next :meth:`run` continues from it.
+
+        The snapshot must come from a simulation of the same strategy and
+        seed; anything else would silently break the determinism guarantee,
+        so mismatches raise instead.
+        """
+        if snapshot["strategy"] != self.strategy.name:
+            raise ValueError(
+                f"checkpoint was written by strategy '{snapshot['strategy']}', "
+                f"this simulation runs '{self.strategy.name}'"
+            )
+        if int(snapshot["seed"]) != self.config.seed:
+            raise ValueError(
+                f"checkpoint was written at seed {snapshot['seed']}, "
+                f"this simulation runs seed {self.config.seed}"
+            )
+        self._global_state = {key: np.asarray(value).copy()
+                              for key, value in snapshot["global_state"].items()}
+        self.strategy.load_state_dict(self.context, snapshot["strategy_state"])
+        self.context.ema.load_state_dict(snapshot["ema"])
+        next_round = int(snapshot["next_round"])
+        self.context.round_index = max(next_round - 1, 0)
+        self._resume = (FLHistory.from_dict(snapshot["history"]), next_round)
 
     # ------------------------------------------------------------------ #
     def select_clients(self, round_index: int) -> List[ClientSpec]:
@@ -220,6 +317,12 @@ class FederatedSimulation:
             mean_train_loss=float(np.mean([r.train_loss for r in results])),
             ema_loss=float(self.context.ema.value),
         )
+        # When called from run(), the record joins the history *before* the
+        # callbacks fire, so observers (checkpointing above all) see a history
+        # that already includes the round they are reacting to.  Standalone
+        # calls never touch a run's history.
+        if callbacks is self._active_callbacks and self._history is not None:
+            self._history.rounds.append(record)
         callbacks.on_round_end(self, record, results)
         return record
 
@@ -242,22 +345,39 @@ class FederatedSimulation:
         return defaults
 
     def run(self, num_rounds: Optional[int] = None) -> FLHistory:
-        """Run the full simulation and return its history."""
+        """Run the full simulation and return its history.
+
+        After :meth:`restore`, the run continues from the checkpoint's next
+        round with the restored history, instead of starting from round 0.
+        """
         rounds = num_rounds if num_rounds is not None else self.config.num_rounds
         if rounds <= 0:
             raise ValueError("num_rounds must be positive")
-        history = FLHistory(strategy=self.strategy.name)
+        if self._resume is not None:
+            history, start_round = self._resume
+            if start_round > rounds:
+                # Leave the restore in place: the caller can retry run() with
+                # a sufficient round budget instead of silently starting over.
+                raise ValueError(
+                    f"checkpoint is at round {start_round} but the run has "
+                    f"only {rounds} round(s)"
+                )
+            self._resume = None
+        else:
+            history, start_round = FLHistory(strategy=self.strategy.name), 0
         callbacks = CallbackList([*self._default_callbacks(), *self.callbacks])
         self._history = history
         self._active_callbacks = callbacks
         self._stop_requested = False
         try:
             callbacks.on_run_start(self, history)
-            for round_index in range(rounds):
-                record = self.run_round(round_index, callbacks=callbacks)
-                history.rounds.append(record)
+            for round_index in range(start_round, rounds):
+                # Checked before the round (not after) so a stop requested
+                # during on_run_start — e.g. early stopping re-triggered by a
+                # restored history — prevents any further training.
                 if self._stop_requested:
                     break
+                self.run_round(round_index, callbacks=callbacks)
             history.per_device_metric = self.evaluate()
             callbacks.on_run_end(self, history)
         finally:

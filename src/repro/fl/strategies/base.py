@@ -24,8 +24,9 @@ permutation of the returned results.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -144,6 +145,39 @@ class Strategy:
             [result.train_loss for result in ordered],
             weights=[result.num_samples for result in ordered],
         )
+
+    # -- persistence (checkpoint/resume) --------------------------------- #
+    def state_dict(self, context: FLContext) -> Dict[str, Any]:
+        """Persistent cross-round strategy state, as a checkpointable tree.
+
+        The default captures the context storages every strategy's server-side
+        state lives in — SCAFFOLD's server/client control variates, any
+        per-client bookkeeping — as deep copies (nested dicts whose leaves are
+        arrays or JSON scalars).  Restoring this tree into a *fresh* context
+        via :meth:`load_state_dict`, together with the global weights and the
+        EMA tracker, reproduces the strategy's server state bit-for-bit, which
+        is what makes mid-run checkpoints resumable with bitwise-identical
+        outcomes.  Strategies that keep state outside the context must
+        override both methods.
+        """
+        return {
+            "server_storage": copy.deepcopy(context.server_storage),
+            "client_storage": {client_id: copy.deepcopy(storage)
+                               for client_id, storage in context.client_storage.items()},
+        }
+
+    def load_state_dict(self, context: FLContext, state: Dict[str, Any]) -> None:
+        """Restore the tree produced by :meth:`state_dict` into ``context``.
+
+        Client-storage keys are coerced back to ``int``: the checkpoint codec
+        round-trips them through JSON-adjacent structures where integer keys
+        may arrive as strings.
+        """
+        context.server_storage.clear()
+        context.server_storage.update(copy.deepcopy(state.get("server_storage", {})))
+        context.client_storage.clear()
+        for client_id, storage in state.get("client_storage", {}).items():
+            context.client_storage[int(client_id)] = copy.deepcopy(storage)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

@@ -1,0 +1,33 @@
+"""Shared filesystem primitives.
+
+:func:`atomic_write` is the single implementation of the crash-safe write
+pattern used by model serialization, checkpoints and store manifests: write
+to a temporary sibling, move it into place with :func:`os.replace` only on
+success, and clean the temporary up on failure — so readers (and resumed
+runs) observe either the previous complete file or the new one, never a
+truncated intermediate.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["atomic_write"]
+
+
+@contextmanager
+def atomic_write(path, mode: str = "wb",
+                 encoding: Optional[str] = None) -> Iterator:
+    """Context manager yielding a file handle whose contents replace ``path``
+    atomically on clean exit (and are discarded on exception)."""
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, mode, encoding=encoding) as handle:
+            yield handle
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)

@@ -74,6 +74,14 @@ class Registry(Mapping, Generic[T]):
         """Register ``factory`` under ``name``, overriding any existing entry."""
         self._factories[name] = factory
 
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (e.g. a test-scoped component); unknown names raise."""
+        if name not in self._factories:
+            raise KeyError(
+                f"unknown {self.kind} '{name}'; available: {sorted(self._factories)}"
+            )
+        del self._factories[name]
+
     # -- lookup ------------------------------------------------------------ #
     def create(self, name: str, **kwargs) -> T:
         """Instantiate the component registered under ``name``."""

@@ -20,6 +20,7 @@ Example::
     print(result.summary)
 """
 
+from ..store import RunStore
 from .registries import (
     CALLBACK_REGISTRY,
     DATASET_REGISTRY,
@@ -39,6 +40,7 @@ __all__ = [
     "spec_scale",
     "Runner",
     "RunResult",
+    "RunStore",
     "run_spec",
     "DataBundle",
     "build_dataset",

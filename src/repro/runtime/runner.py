@@ -6,6 +6,13 @@ requested seed, and returns a :class:`RunResult` with per-seed histories and a
 cross-seed summary.  Dataset bundles are memoised per ``(dataset, scale, seed,
 kwargs)``, so sweeping strategies or hyperparameters over one dataset builds
 the data once (the legacy runners' behaviour) instead of once per run.
+
+Attach a :class:`~repro.store.RunStore` (``Runner(store=..., checkpoint_every=
+...)``) to make runs durable: every federated seed gets a manifest + periodic
+crash-safe checkpoints + a result JSON in the store, and ``run(spec,
+resume=True)`` skips seeds whose results are already stored and continues
+partial seeds from their newest checkpoint — with final weights and metrics
+bitwise identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -21,12 +28,14 @@ from ..eval.centralized import evaluate_on_devices, train_centralized
 from ..eval.factories import make_model_factory
 from ..eval.results import ExperimentResult
 from ..eval.scale import ExperimentScale
+from ..fl.callbacks import CheckpointCallback
 from ..fl.config import FLConfig
 from ..fl.metrics import summarize_per_device
 from ..fl.simulation import FederatedSimulation, FLHistory
 from ..fl.strategies import create_strategy
 from ..data.partition import build_client_specs
 from ..nn.layers import Module
+from ..store import RunStore
 from .registries import (
     CALLBACK_REGISTRY,
     EXECUTOR_REGISTRY,
@@ -86,10 +95,39 @@ class Runner:
     One runner instance can execute many specs; bundles are cached by
     ``(dataset, scale, seed, dataset_kwargs)`` so grids over strategies,
     models or FL hyperparameters rebuild nothing but the runs themselves.
+
+    Parameters
+    ----------
+    cache_datasets:
+        Memoise dataset bundles across runs (default on).
+    store:
+        Optional :class:`~repro.store.RunStore` (or a path to create one at)
+        making federated runs durable: manifests, checkpoints and results are
+        persisted per ``(spec, seed)``, and :meth:`run` with ``resume=True``
+        picks completed seeds up from the store and partial seeds up from
+        their newest checkpoint.
+    checkpoint_every:
+        Checkpoint cadence in rounds for stored runs (``None``/``0`` writes
+        only the final snapshot).
     """
 
-    def __init__(self, cache_datasets: bool = True) -> None:
+    def __init__(self, cache_datasets: bool = True,
+                 store: "RunStore | str | None" = None,
+                 checkpoint_every: Optional[int] = None) -> None:
         self.cache_datasets = cache_datasets
+        if store is not None and not isinstance(store, RunStore):
+            store = RunStore(store)
+        self.store = store
+        if checkpoint_every is not None and (
+            isinstance(checkpoint_every, bool)
+            or not isinstance(checkpoint_every, int)
+            or checkpoint_every < 0
+        ):
+            raise ValueError(
+                f"checkpoint_every must be a non-negative integer or None, "
+                f"got {checkpoint_every!r}"
+            )
+        self.checkpoint_every = checkpoint_every
         self._bundle_cache: Dict[str, DataBundle] = {}
 
     # -- data --------------------------------------------------------------- #
@@ -109,27 +147,57 @@ class Runner:
         return bundle
 
     # -- execution ---------------------------------------------------------- #
-    def run(self, spec: RunSpec) -> RunResult:
-        """Execute every seed of the spec and summarise across seeds."""
+    def run(self, spec: RunSpec, resume: bool = False) -> RunResult:
+        """Execute every seed of the spec and summarise across seeds.
+
+        With ``resume=True`` (requires a store), seeds whose results are
+        already in the store are loaded instead of re-run, and partially
+        completed seeds continue from their newest checkpoint.
+        """
         spec.validate()
+        if resume and self.store is None:
+            raise ValueError("resume=True requires a Runner constructed with a store")
+        if self.store is not None and spec.kind == "centralized":
+            raise ValueError(
+                "the run store supports federated specs; run centralized "
+                "specs with a store-less Runner"
+            )
         result = RunResult(spec=spec, seeds=list(spec.seeds), metrics=[])
         for seed in spec.seeds:
             if spec.kind == "centralized":
                 model, metrics = self._run_centralized(spec, seed)
                 result.models.append(model)
             else:
-                history = self.run_seed(spec, seed)
+                history = self.run_seed(spec, seed, resume=resume)
                 result.histories.append(history)
                 metrics = history.per_device_metric
             result.metrics.append(metrics)
         result.summary = self._summarize(result)
         return result
 
-    def run_seed(self, spec: RunSpec, seed: int) -> FLHistory:
-        """Execute one federated run of the spec at ``seed``."""
+    def run_seed(self, spec: RunSpec, seed: int, resume: bool = False) -> FLHistory:
+        """Execute one federated run of the spec at ``seed``.
+
+        When the runner has a store, the run is checkpointed into it and its
+        result persisted on completion; ``resume=True`` returns the stored
+        history for completed runs and restores partial runs from their
+        newest checkpoint before continuing.
+        """
         if spec.kind != "federated":
             raise ValueError(f"run_seed requires a federated spec, got kind '{spec.kind}'")
         scale = spec.resolve_scale()
+
+        # Consult the store before building anything expensive: resuming a
+        # completed seed must not pay for dataset construction.
+        entry = snapshot = None
+        if self.store is not None:
+            num_rounds = int(spec.config_overrides.get("num_rounds", scale.num_rounds))
+            entry = self.store.open_run(spec, seed, extra={"num_rounds": num_rounds})
+            if resume:
+                if entry.has_result():
+                    return FLHistory.from_dict(entry.load_result()["history"])
+                snapshot = entry.load_checkpoint()
+
         bundle = self.build_bundle(spec, seed)
         config = self._build_config(spec, scale, bundle, seed)
         factory = make_model_factory(
@@ -148,15 +216,26 @@ class Runner:
         sampler = SAMPLER_REGISTRY.create(spec.sampler, **spec.sampler_kwargs)
         callbacks = [CALLBACK_REGISTRY.create(name, **kwargs)
                      for name, kwargs in spec.callbacks.items()]
+        if entry is not None:
+            callbacks.append(CheckpointCallback(entry.checkpoint_dir,
+                                                every=self.checkpoint_every or 0))
+        # The executor is created last so nothing can fail between its
+        # construction and the try/finally that guarantees it is closed —
+        # including exceptions raised by callbacks or the simulation itself.
         executor = EXECUTOR_REGISTRY.create(spec.executor, max_workers=spec.max_workers)
         try:
             simulation = FederatedSimulation(
                 factory, clients, bundle.test, strategy, config,
                 sampler=sampler, callbacks=callbacks, executor=executor,
             )
-            return simulation.run()
+            if snapshot is not None:
+                simulation.restore(snapshot)
+            history = simulation.run()
         finally:
             executor.close()
+        if entry is not None:
+            entry.save_result(history, final_state=simulation.global_state)
+        return history
 
     def _build_config(self, spec: RunSpec, scale: ExperimentScale,
                       bundle: DataBundle, seed: int) -> FLConfig:

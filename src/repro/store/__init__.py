@@ -1,0 +1,53 @@
+"""Persistent run store: crash-safe checkpointing and bit-identical resume.
+
+The subsystem has two layers:
+
+* :mod:`repro.store.checkpoint` — an ``.npz`` codec for arbitrary state trees
+  (nested dicts/lists of arrays and JSON scalars) with atomic-replace writes
+  and format versioning.
+* :mod:`repro.store.run_store` — a :class:`RunStore` owning one directory per
+  ``(spec, seed)`` run: a manifest (spec JSON, versions, environment
+  fingerprint), periodic + final checkpoints, and the completed run's result
+  JSON with a sha256 run fingerprint.
+
+The correctness criterion is exact state equality: kill a run at any round,
+resume it (``Runner(store=..., checkpoint_every=...)`` / ``python -m repro
+bench --resume``), and the final weights and metrics are bitwise identical to
+the uninterrupted run — client sampling and RNG streams are pure functions of
+``(seed, round)``, so a checkpoint of the global weights, strategy state, EMA
+tracker and history is a complete description of the run's future.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointVersionError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .run_store import (
+    STORE_FORMAT_VERSION,
+    RunEntry,
+    RunStore,
+    RunStoreError,
+    StoreVersionError,
+    env_fingerprint,
+    run_fingerprint,
+    spec_hash,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointVersionError",
+    "read_checkpoint",
+    "write_checkpoint",
+    "STORE_FORMAT_VERSION",
+    "RunEntry",
+    "RunStore",
+    "RunStoreError",
+    "StoreVersionError",
+    "env_fingerprint",
+    "run_fingerprint",
+    "spec_hash",
+]

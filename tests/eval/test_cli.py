@@ -191,6 +191,115 @@ class TestBench:
         assert strip(serial) == strip(parallel)
 
 
+class TestVersion:
+    def test_version_flag_prints_library_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestStoreFlags:
+    def test_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "--store", "runs", "--checkpoint-every", "5", "--resume"])
+        assert args.store == "runs"
+        assert args.checkpoint_every == 5
+        assert args.resume is True
+
+    def test_bench_with_store_persists_run(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["bench", "--spec", spec_file, "--store", str(store),
+                     "--checkpoint-every", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "run store" in out
+        [run_dir] = [p for p in store.iterdir() if p.is_dir()]
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "result.json").exists()
+        assert (run_dir / "checkpoints" / "final.npz").exists()
+
+    def test_bench_resume_skips_completed_run(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["bench", "--spec", spec_file, "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert main(["bench", "--spec", spec_file, "--store", store,
+                     "--resume"]) == 0
+        second = capsys.readouterr().out
+        strip = lambda text: "\n".join(l for l in text.splitlines()
+                                       if "completed in" not in l)
+        assert strip(first) == strip(second)
+
+    def test_negative_checkpoint_every_fails_cleanly(self, spec_file, capsys):
+        assert main(["bench", "--spec", spec_file, "--checkpoint-every", "-2"]) == 2
+        assert "checkpoint_every" in capsys.readouterr().err
+
+    def test_incompatible_checkpoint_fails_cleanly_on_resume(self, spec_file,
+                                                             tmp_path, capsys):
+        """A checkpoint from a different format version exits 2 with the
+        version message, not a traceback."""
+        import json
+
+        import numpy as np
+
+        store = str(tmp_path / "store")
+        # Create a partial run: manifest + one checkpoint, no result.
+        assert main(["bench", "--spec", spec_file, "--store", store,
+                     "--checkpoint-every", "1"]) == 0
+        capsys.readouterr()
+        from repro.store import RunStore
+
+        [entry] = RunStore(store).list_runs()
+        entry.result_path.unlink()
+        # Rewrite the newest checkpoint under a bogus format version.
+        meta = {"format_version": 99, "repro_version": "9.9.9", "meta": {},
+                "state": {"__dict__": []}}
+        blob = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(entry.checkpoint_dir / "final.npz", **{"__checkpoint_meta__": blob})
+        assert main(["bench", "--spec", spec_file, "--store", store,
+                     "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "format version 99" in err
+
+
+class TestRunsCommand:
+    def test_runs_list_empty_store(self, tmp_path, capsys):
+        assert main(["runs", "list", "--store", str(tmp_path / "nothing")]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_runs_list_shows_completed_run(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["bench", "--spec", spec_file, "--store", store,
+                     "--checkpoint-every", "1"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "fedavg-device_capture" in out
+        assert "completed" in out
+        assert "2/2" in out  # rounds completed / total
+
+    def test_runs_show_prints_manifest_and_fingerprint(self, spec_file, tmp_path,
+                                                       capsys):
+        store = str(tmp_path / "store")
+        assert main(["bench", "--spec", spec_file, "--store", store,
+                     "--checkpoint-every", "1"]) == 0
+        capsys.readouterr()
+        from repro.store import RunStore
+
+        [entry] = RunStore(store).list_runs()
+        assert main(["runs", "show", entry.run_id, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "spec_hash" in out
+        assert "fingerprint:" in out
+        assert "final.npz" in out
+
+    def test_runs_show_unknown_id_fails_cleanly(self, tmp_path, capsys):
+        assert main(["runs", "show", "ghost", "--store",
+                     str(tmp_path / "store")]) == 2
+        assert "no run 'ghost'" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_sweep_over_strategies_and_seeds(self, spec_file, capsys):
         assert main(["sweep", "--spec", spec_file, "--strategies", "fedavg",

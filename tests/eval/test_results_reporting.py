@@ -60,6 +60,28 @@ class TestExperimentResult:
         assert (tmp_path / "table9.csv").exists()
         assert "table9" in report.read_text()
 
+    def test_write_report_emits_reloadable_json(self, tmp_path):
+        write_report([self.make()], tmp_path)
+        json_file = tmp_path / "table9.json"
+        assert json_file.exists()
+        reloaded = ExperimentResult.from_json(json_file.read_text())
+        assert reloaded == self.make()
+
+    def test_json_round_trip(self):
+        result = self.make()
+        result.metadata = {"spec": {"strategy": "fedavg"}, "scale": "smoke"}
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ExperimentResult field"):
+            ExperimentResult.from_json('{"experiment_id": "x", "bogus": 1}')
+
+    def test_to_json_stringifies_exotic_metadata(self):
+        result = self.make()
+        result.metadata = {"scale_obj": get_scale("smoke")}
+        reloaded = ExperimentResult.from_json(result.to_json())
+        assert "smoke" in str(reloaded.metadata["scale_obj"])
+
 
 class TestScales:
     def test_presets_exist(self):
