@@ -25,6 +25,7 @@ list`` / ``runs show RUN_ID`` inspect a store.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -149,6 +150,10 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                              "only wall clock changes)")
     parser.add_argument("--workers", type=int, default=None,
                         help="max parallel client workers (default: one per CPU core)")
+    parser.add_argument("--capture-cache", default=None, metavar="DIR",
+                        help="persistent capture-cache directory: device captures "
+                             "are stored on first build and reloaded bitwise-"
+                             "identically afterwards (device_capture datasets)")
     parser.add_argument("--store", default=None,
                         help="run-store directory for durable checkpoints/results "
                              "(default: 'runs' when --checkpoint-every/--resume is "
@@ -212,6 +217,16 @@ def _apply_spec_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
         overrides["max_workers"] = args.workers
     if args.rounds is not None:
         overrides["config_overrides"] = {**spec.config_overrides, "num_rounds": args.rounds}
+    if args.capture_cache is not None:
+        dataset = overrides.get("dataset", spec.dataset)
+        builder = DATASET_REGISTRY[dataset]
+        if "capture_cache" not in inspect.signature(builder).parameters:
+            raise ValueError(
+                f"--capture-cache is not supported by dataset '{dataset}'; "
+                f"its builder takes no 'capture_cache' argument"
+            )
+        overrides["dataset_kwargs"] = {**spec.dataset_kwargs,
+                                       "capture_cache": args.capture_cache}
     return spec.with_overrides(**overrides) if overrides else spec
 
 

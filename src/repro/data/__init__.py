@@ -6,7 +6,15 @@ synthetic-heterogeneity CIFAR experiment, the FLAIR-like multi-label dataset
 and the multi-sensor ECG dataset, plus FL client partitioning and batching.
 """
 
-from .capture import CaptureConfig, DeviceDatasetBundle, build_device_datasets, capture_with_device
+from .capture import (
+    CaptureConfig,
+    DeviceDatasetBundle,
+    build_device_datasets,
+    capture_with_device,
+    capture_with_device_scalar,
+    derive_capture_seeds,
+)
+from .capture_cache import CaptureCache, device_fingerprint
 from .cifar_synthetic import SyntheticCifarConfig, build_synthetic_cifar, generate_base_images
 from .dataset import ArrayDataset, DataLoader, hwc_to_nchw, nchw_to_hwc, train_test_split
 from .ecg import ECG_SENSOR_TYPES, ECGSensorType, build_ecg_datasets, synthesize_ecg_window
@@ -24,9 +32,13 @@ __all__ = [
     "SCENE_CLASSES",
     "generate_scene_dataset",
     "CaptureConfig",
+    "CaptureCache",
     "DeviceDatasetBundle",
     "build_device_datasets",
     "capture_with_device",
+    "capture_with_device_scalar",
+    "derive_capture_seeds",
+    "device_fingerprint",
     "ClientSpec",
     "assign_device_types",
     "build_client_specs",

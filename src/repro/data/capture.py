@@ -5,40 +5,39 @@ device's sensor records RAW data, the device's ISP produces the final image,
 and the image is resized into the tensor the model trains on.  Capturing the
 *same* scenes with *different* device profiles yields the per-device datasets
 used throughout Sections 3, 4 and 6.
+
+The whole path is vectorized over the batch dimension: one capture makes zero
+per-scene Python iterations (sensor exposure, noise, Bayer sampling, all six
+ISP stages and the final resize are ``(N, ...)`` kernels) while remaining
+bit-identical to the scalar reference loop kept in
+:func:`capture_with_device_scalar`.  Captured datasets can additionally be
+persisted in a :class:`~repro.data.capture_cache.CaptureCache`, so repeated
+sweeps over one device fleet rebuild nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from ..devices.profiles import DEVICE_PROFILES, DeviceProfile
 from ..isp.pipeline import ISPConfig, ISPPipeline
-from ..isp.raw import raw_to_training_array
+from ..isp.raw import raw_to_training_array, raw_to_training_array_batch
+from ..isp.resize import resize_bilinear, resize_bilinear_batch
+from .capture_cache import CaptureCache
 from .dataset import ArrayDataset, hwc_to_nchw
 from .scenes import generate_scene_dataset
 
-__all__ = ["CaptureConfig", "capture_with_device", "build_device_datasets", "DeviceDatasetBundle"]
-
-
-def _resize_bilinear(image: np.ndarray, size: int) -> np.ndarray:
-    """Resize an HxWxC image to ``size`` x ``size`` (separable linear interpolation)."""
-    h, w = image.shape[:2]
-    if (h, w) == (size, size):
-        return image
-    row_pos = np.linspace(0, h - 1, size)
-    col_pos = np.linspace(0, w - 1, size)
-    row_lo = np.floor(row_pos).astype(int)
-    col_lo = np.floor(col_pos).astype(int)
-    row_hi = np.minimum(row_lo + 1, h - 1)
-    col_hi = np.minimum(col_lo + 1, w - 1)
-    row_frac = (row_pos - row_lo)[:, None, None]
-    col_frac = (col_pos - col_lo)[None, :, None]
-    top = image[row_lo][:, col_lo] * (1 - col_frac) + image[row_lo][:, col_hi] * col_frac
-    bottom = image[row_hi][:, col_lo] * (1 - col_frac) + image[row_hi][:, col_hi] * col_frac
-    return top * (1 - row_frac) + bottom * row_frac
+__all__ = [
+    "CaptureConfig",
+    "capture_with_device",
+    "capture_with_device_scalar",
+    "build_device_datasets",
+    "derive_capture_seeds",
+    "DeviceDatasetBundle",
+]
 
 
 @dataclass(frozen=True)
@@ -65,25 +64,69 @@ class CaptureConfig:
     seed: int = 0
 
 
-def capture_with_device(
-    scenes: np.ndarray,
-    labels: np.ndarray,
-    device: DeviceProfile,
-    config: CaptureConfig = CaptureConfig(),
-) -> ArrayDataset:
-    """Capture a batch of scenes with one device, returning an NCHW dataset."""
+def _validate_capture_inputs(scenes: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     scenes = np.asarray(scenes, dtype=np.float64)
     labels = np.asarray(labels)
     if scenes.ndim != 4 or scenes.shape[-1] != 3:
         raise ValueError(f"scenes must be (N, H, W, 3), got {scenes.shape}")
     if len(scenes) != len(labels):
         raise ValueError("scenes and labels must be the same length")
+    return scenes, labels
 
+
+def _capture_metadata(device: DeviceProfile, config: CaptureConfig) -> Dict[str, object]:
+    return {
+        "device": device.name,
+        "vendor": device.vendor,
+        "tier": device.tier,
+        "raw": config.raw,
+        "isp": (config.isp_override or device.isp).name if not config.raw else "raw",
+    }
+
+
+def capture_with_device(
+    scenes: np.ndarray,
+    labels: np.ndarray,
+    device: DeviceProfile,
+    config: CaptureConfig = CaptureConfig(),
+) -> ArrayDataset:
+    """Capture a batch of scenes with one device, returning an NCHW dataset.
+
+    The entire scene -> RAW -> ISP -> tensor path runs as batched ``(N, ...)``
+    kernels; the result is bit-identical to the per-scene reference loop
+    (:func:`capture_with_device_scalar`) including the sensor-noise RNG
+    stream.
+    """
+    scenes, labels = _validate_capture_inputs(scenes, labels)
+    rng = np.random.default_rng(config.seed)
+    raw_batch = device.sensor.capture_raw_batch(scenes, rng)
+    if config.raw:
+        processed = raw_to_training_array_batch(raw_batch)
+    else:
+        pipeline = ISPPipeline(config.isp_override or device.isp)
+        processed = pipeline.process_batch(raw_batch)
+    images = resize_bilinear_batch(processed, (config.image_size, config.image_size))
+    return ArrayDataset(hwc_to_nchw(images), labels,
+                        metadata=_capture_metadata(device, config))
+
+
+def capture_with_device_scalar(
+    scenes: np.ndarray,
+    labels: np.ndarray,
+    device: DeviceProfile,
+    config: CaptureConfig = CaptureConfig(),
+) -> ArrayDataset:
+    """Scene-by-scene reference implementation of :func:`capture_with_device`.
+
+    Kept as the golden baseline for the batched path's bit-identity guarantee
+    (and for the capture-throughput benchmark).  Per scene it draws the same
+    RNG stream the batched kernel consumes in one block.
+    """
+    scenes, labels = _validate_capture_inputs(scenes, labels)
     rng = np.random.default_rng(config.seed)
     pipeline = None
     if not config.raw:
-        isp_config = config.isp_override or device.isp
-        pipeline = ISPPipeline(isp_config)
+        pipeline = ISPPipeline(config.isp_override or device.isp)
 
     images = np.empty((len(scenes), config.image_size, config.image_size, 3), dtype=np.float64)
     for index, scene in enumerate(scenes):
@@ -92,16 +135,9 @@ def capture_with_device(
             processed = raw_to_training_array(raw)
         else:
             processed = pipeline.process(raw)
-        images[index] = _resize_bilinear(processed, config.image_size)
-
-    metadata = {
-        "device": device.name,
-        "vendor": device.vendor,
-        "tier": device.tier,
-        "raw": config.raw,
-        "isp": (config.isp_override or device.isp).name if not config.raw else "raw",
-    }
-    return ArrayDataset(hwc_to_nchw(images), labels, metadata=metadata)
+        images[index] = resize_bilinear(processed, (config.image_size, config.image_size))
+    return ArrayDataset(hwc_to_nchw(images), labels,
+                        metadata=_capture_metadata(device, config))
 
 
 @dataclass
@@ -117,6 +153,19 @@ class DeviceDatasetBundle:
         return list(self.train.keys())
 
 
+def derive_capture_seeds(seed: int, device_offset: int) -> tuple[int, int]:
+    """Derive independent (train, test) sensor-noise seeds for one device.
+
+    The train and test pools must see *different* noise realisations: reusing
+    one seed replays the train noise stream sample-for-sample onto the test
+    captures.  Spawning two children from one ``SeedSequence`` keeps the
+    derivation deterministic per ``(seed, device)`` while separating the
+    streams.
+    """
+    train_seq, test_seq = np.random.SeedSequence(seed + device_offset).spawn(2)
+    return (int(train_seq.generate_state(1)[0]), int(test_seq.generate_state(1)[0]))
+
+
 def build_device_datasets(
     samples_per_class_train: int = 8,
     samples_per_class_test: int = 4,
@@ -127,6 +176,7 @@ def build_device_datasets(
     raw: bool = False,
     isp_override: Optional[ISPConfig] = None,
     seed: int = 0,
+    cache: "CaptureCache | str | None" = None,
 ) -> DeviceDatasetBundle:
     """Build the per-device dataset family used by the characterization study.
 
@@ -134,26 +184,61 @@ def build_device_datasets(
     device (the paper controls the displayed content and varies only the
     device), so differences between the per-device datasets are purely
     system-induced.
+
+    With ``cache`` set (a :class:`~repro.data.capture_cache.CaptureCache` or a
+    directory path), every per-device capture is persisted on first build and
+    loaded bitwise-identically on subsequent builds; a fully cached bundle
+    skips scene generation and the ISP entirely.
     """
     device_names = list(devices) if devices is not None else list(DEVICE_PROFILES)
     unknown = [d for d in device_names if d not in DEVICE_PROFILES]
     if unknown:
         raise KeyError(f"unknown devices: {unknown}")
+    if cache is not None and not isinstance(cache, CaptureCache):
+        cache = CaptureCache(cache)
 
-    train_scenes, train_labels = generate_scene_dataset(
-        samples_per_class_train, num_classes=num_classes, image_size=scene_size, seed=seed
-    )
-    test_scenes, test_labels = generate_scene_dataset(
-        samples_per_class_test, num_classes=num_classes, image_size=scene_size, seed=seed + 10_000
-    )
+    # Single source of truth for each split's scene-pool parameters: the
+    # cache key and the generated pool must never be derived independently.
+    def pool_params(split: str) -> tuple[int, int]:
+        """(samples per class, generator seed) of one split's scene pool."""
+        if split == "train":
+            return samples_per_class_train, seed
+        return samples_per_class_test, seed + 10_000
+
+    # Scene pools are generated lazily: a fully cached build never pays for
+    # scene synthesis (that is what makes cache hits near-instant).
+    pools: Dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def scene_pool(split: str) -> tuple[np.ndarray, np.ndarray]:
+        if split not in pools:
+            per_class, pool_seed = pool_params(split)
+            pools[split] = generate_scene_dataset(
+                per_class, num_classes=num_classes, image_size=scene_size, seed=pool_seed
+            )
+        return pools[split]
+
+    def capture(split: str, profile: DeviceProfile, capture_cfg: CaptureConfig) -> ArrayDataset:
+        per_class, pool_seed = pool_params(split)
+        builder: Callable[[], ArrayDataset] = lambda: capture_with_device(
+            *scene_pool(split), profile, capture_cfg
+        )
+        if cache is None:
+            return builder()
+        key = cache.capture_key(
+            scene_seed=pool_seed, samples_per_class=per_class, num_classes=num_classes,
+            scene_size=scene_size, device=profile, config=capture_cfg,
+        )
+        return cache.get_or_build(key, builder)
 
     train: Dict[str, ArrayDataset] = {}
     test: Dict[str, ArrayDataset] = {}
     for offset, name in enumerate(device_names):
         profile = DEVICE_PROFILES[name]
-        capture_cfg = CaptureConfig(
-            image_size=image_size, raw=raw, isp_override=isp_override, seed=seed + offset
-        )
-        train[name] = capture_with_device(train_scenes, train_labels, profile, capture_cfg)
-        test[name] = capture_with_device(test_scenes, test_labels, profile, capture_cfg)
+        train_seed, test_seed = derive_capture_seeds(seed, offset)
+        train_cfg = CaptureConfig(image_size=image_size, raw=raw,
+                                  isp_override=isp_override, seed=train_seed)
+        test_cfg = CaptureConfig(image_size=image_size, raw=raw,
+                                 isp_override=isp_override, seed=test_seed)
+        train[name] = capture("train", profile, train_cfg)
+        test[name] = capture("test", profile, test_cfg)
     return DeviceDatasetBundle(train=train, test=test, num_classes=num_classes, image_size=image_size)

@@ -59,8 +59,22 @@ class ArrayDataset:
         return len(self.features)
 
     def subset(self, indices: np.ndarray) -> "ArrayDataset":
-        """Return a new dataset restricted to ``indices``."""
-        indices = np.asarray(indices, dtype=int)
+        """Return a new dataset restricted to ``indices``.
+
+        ``indices`` may be integer positions or a boolean mask over the whole
+        dataset.  Masks are resolved with :func:`np.flatnonzero` — coercing
+        them to int would silently select samples 0/1 repeatedly instead of
+        the masked rows.
+        """
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            if indices.shape != (len(self),):
+                raise ValueError(
+                    f"boolean mask must have shape ({len(self)},), got {indices.shape}"
+                )
+            indices = np.flatnonzero(indices)
+        else:
+            indices = indices.astype(int)
         return ArrayDataset(self.features[indices], self.labels[indices], metadata=self.metadata)
 
     def merge(self, other: "ArrayDataset") -> "ArrayDataset":
@@ -129,6 +143,11 @@ def train_test_split(
             cls_idx = np.flatnonzero(labels == cls)
             cls_idx = rng.permutation(cls_idx)
             count = max(1, int(round(len(cls_idx) * test_fraction)))
+            # Never strip a multi-sample class from the train split: an
+            # uncapped rounding (e.g. 2 samples at test_fraction 0.75) would
+            # otherwise send every sample of a small class to test.
+            if len(cls_idx) > 1:
+                count = min(count, len(cls_idx) - 1)
             test_indices.extend(cls_idx[:count].tolist())
         test_mask = np.zeros(n, dtype=bool)
         test_mask[np.asarray(test_indices, dtype=int)] = True

@@ -19,29 +19,10 @@ from typing import Tuple
 
 import numpy as np
 
-from ..isp.raw import RawImage, bayer_mosaic
+from ..isp.raw import RawBatch, RawImage, bayer_mosaic_batch
+from ..isp.resize import resize_bilinear_batch
 
 __all__ = ["SensorModel"]
-
-
-def _resize_bilinear(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
-    """Resize an HxWxC image with separable linear interpolation (no SciPy zoom
-    edge surprises; keeps the function dependency-light and deterministic)."""
-    h, w = image.shape[:2]
-    new_h, new_w = size
-    if (h, w) == (new_h, new_w):
-        return image.astype(np.float64, copy=True)
-    row_pos = np.linspace(0, h - 1, new_h)
-    col_pos = np.linspace(0, w - 1, new_w)
-    row_lo = np.floor(row_pos).astype(int)
-    col_lo = np.floor(col_pos).astype(int)
-    row_hi = np.minimum(row_lo + 1, h - 1)
-    col_hi = np.minimum(col_lo + 1, w - 1)
-    row_frac = (row_pos - row_lo)[:, None, None]
-    col_frac = (col_pos - col_lo)[None, :, None]
-    top = image[row_lo][:, col_lo] * (1 - col_frac) + image[row_lo][:, col_hi] * col_frac
-    bottom = image[row_hi][:, col_lo] * (1 - col_frac) + image[row_hi][:, col_hi] * col_frac
-    return top * (1 - row_frac) + bottom * row_frac
 
 
 @dataclass
@@ -103,13 +84,17 @@ class SensorModel:
         # cos^4-like radial falloff scaled by the vignetting strength.
         return 1.0 - self.vignetting * radius_sq / 2.0
 
-    def expose(self, scene: np.ndarray) -> np.ndarray:
-        """Deterministically render the scene onto the sensor plane (no noise).
+    def expose_batch(self, scenes: np.ndarray) -> np.ndarray:
+        """Deterministically render scenes onto the sensor plane (no noise).
 
-        Returns the HxWx3 linear sensor irradiance before CFA sampling.
+        Returns the ``(N, H, W, 3)`` linear sensor irradiance before CFA
+        sampling; every operation is per-pixel, so batching is bitwise
+        identical to exposing scene-by-scene.
         """
-        scene = np.clip(np.asarray(scene, dtype=np.float64), 0.0, 1.0)
-        resized = _resize_bilinear(scene, self.resolution)
+        scenes = np.clip(np.asarray(scenes, dtype=np.float64), 0.0, 1.0)
+        if scenes.ndim != 4 or scenes.shape[-1] != 3:
+            raise ValueError(f"expected an (N, H, W, 3) scene batch, got {scenes.shape}")
+        resized = resize_bilinear_batch(scenes, self.resolution)
         mixed = resized.reshape(-1, 3) @ self.color_response.T
         mixed = mixed.reshape(resized.shape)
         exposed = mixed * self.exposure
@@ -117,14 +102,37 @@ class SensorModel:
             exposed = exposed * self._vignette_mask()[..., None]
         return np.clip(exposed, 0.0, 1.0)
 
-    def capture_raw(self, scene: np.ndarray, rng: np.random.Generator) -> RawImage:
-        """Capture a RAW Bayer mosaic of ``scene`` with sensor noise applied."""
-        irradiance = self.expose(scene)
+    def expose(self, scene: np.ndarray) -> np.ndarray:
+        """Render one scene onto the sensor plane (batched kernel, N=1)."""
+        scene = np.asarray(scene, dtype=np.float64)
+        if scene.ndim != 3:
+            raise ValueError(f"expected an (H, W, 3) scene, got shape {scene.shape}")
+        return self.expose_batch(scene[None])[0]
+
+    def capture_raw_batch(self, scenes: np.ndarray, rng: np.random.Generator) -> RawBatch:
+        """Capture ``(N, H, W)`` RAW Bayer mosaics with sensor noise applied.
+
+        The noise realization is drawn as one ``(N, 2, H, W, 3)`` standard-
+        normal block, which consumes the generator's bitstream in exactly the
+        order the scalar path does (per scene: shot-noise draw, then read-
+        noise draw) — so batched captures reproduce the scalar captures
+        bit-for-bit from the same seed.
+        """
+        irradiance = self.expose_batch(scenes)
         # Shot noise: variance proportional to the signal; read noise: constant.
         shot_sigma = np.sqrt(np.maximum(irradiance, 0.0)) * self.shot_noise_scale
-        noisy = irradiance + rng.normal(0.0, 1.0, size=irradiance.shape) * shot_sigma
-        noisy = noisy + rng.normal(0.0, self.read_noise, size=irradiance.shape)
-        noisy = np.clip(noisy + self.black_level, 0.0, 1.0 + self.black_level) - self.black_level
+        draws = rng.normal(0.0, 1.0, size=(len(irradiance), 2) + irradiance.shape[1:])
+        noisy = irradiance + draws[:, 0] * shot_sigma
+        noisy = noisy + (0.0 + self.read_noise * draws[:, 1])
+        if self.black_level:
+            noisy = np.clip(noisy + self.black_level, 0.0, 1.0 + self.black_level) - self.black_level
         noisy = np.clip(noisy, 0.0, 1.0)
-        mosaic = bayer_mosaic(noisy, pattern=self.bayer_pattern)
-        return RawImage(mosaic=mosaic, pattern=self.bayer_pattern, black_level=self.black_level)
+        mosaics = bayer_mosaic_batch(noisy, pattern=self.bayer_pattern)
+        return RawBatch(mosaics=mosaics, pattern=self.bayer_pattern, black_level=self.black_level)
+
+    def capture_raw(self, scene: np.ndarray, rng: np.random.Generator) -> RawImage:
+        """Capture one RAW Bayer mosaic (batched kernel, N=1; same RNG stream)."""
+        scene = np.asarray(scene, dtype=np.float64)
+        if scene.ndim != 3:
+            raise ValueError(f"expected an (H, W, 3) scene, got shape {scene.shape}")
+        return self.capture_raw_batch(scene[None], rng)[0]

@@ -6,10 +6,10 @@ compression — plus the random ISP transformations HeteroSwitch applies on the
 client (Eq. 2 and Eq. 3).
 """
 
-from .compression import COMPRESSION_METHODS, compress, jpeg_compress
-from .demosaic import DEMOSAIC_METHODS, demosaic
-from .denoise import DENOISE_METHODS, denoise
-from .gamut import GAMUT_METHODS, gamut_map
+from .compression import COMPRESSION_METHODS, compress, compress_batch, jpeg_compress
+from .demosaic import DEMOSAIC_METHODS, demosaic, demosaic_batch
+from .denoise import DENOISE_METHODS, denoise, denoise_batch
+from .gamut import GAMUT_METHODS, gamut_map, gamut_map_batch
 from .pipeline import (
     BASELINE_CONFIG,
     ISP_STAGES,
@@ -19,8 +19,24 @@ from .pipeline import (
     OPTION2_CONFIG,
     stage_variants,
 )
-from .raw import BAYER_PATTERNS, RawImage, bayer_mosaic, raw_to_training_array
-from .tone import TONE_METHODS, apply_gamma, srgb_gamma, srgb_gamma_inverse, tone_transform
+from .raw import (
+    BAYER_PATTERNS,
+    RawBatch,
+    RawImage,
+    bayer_mosaic,
+    bayer_mosaic_batch,
+    raw_to_training_array,
+    raw_to_training_array_batch,
+)
+from .resize import resize_bilinear, resize_bilinear_batch
+from .tone import (
+    TONE_METHODS,
+    apply_gamma,
+    srgb_gamma,
+    srgb_gamma_inverse,
+    tone_transform,
+    tone_transform_batch,
+)
 from .transforms import (
     Compose,
     GaussianNoise,
@@ -31,12 +47,17 @@ from .transforms import (
     Transform,
     apply_white_balance_gains,
 )
-from .white_balance import WHITE_BALANCE_METHODS, white_balance
+from .white_balance import WHITE_BALANCE_METHODS, white_balance, white_balance_batch
 
 __all__ = [
     "RawImage",
+    "RawBatch",
     "bayer_mosaic",
+    "bayer_mosaic_batch",
     "raw_to_training_array",
+    "raw_to_training_array_batch",
+    "resize_bilinear",
+    "resize_bilinear_batch",
     "BAYER_PATTERNS",
     "ISPConfig",
     "ISPPipeline",
@@ -46,19 +67,25 @@ __all__ = [
     "ISP_STAGES",
     "stage_variants",
     "demosaic",
+    "demosaic_batch",
     "DEMOSAIC_METHODS",
     "denoise",
+    "denoise_batch",
     "DENOISE_METHODS",
     "white_balance",
+    "white_balance_batch",
     "WHITE_BALANCE_METHODS",
     "gamut_map",
+    "gamut_map_batch",
     "GAMUT_METHODS",
     "tone_transform",
+    "tone_transform_batch",
     "TONE_METHODS",
     "srgb_gamma",
     "srgb_gamma_inverse",
     "apply_gamma",
     "compress",
+    "compress_batch",
     "jpeg_compress",
     "COMPRESSION_METHODS",
     "Transform",

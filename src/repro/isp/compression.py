@@ -5,6 +5,10 @@ Option 1 omits compression.  We implement the lossy core of JPEG — 8x8 block
 DCT, quality-scaled quantization of the luma/chroma planes, inverse DCT —
 which reproduces the characteristic blocking/ringing distortion without the
 entropy-coding bookkeeping (lossless, so irrelevant to data heterogeneity).
+
+The block transform is independent per 8x8 tile, so the batched ``(N, H, W,
+C)`` kernel tiles the whole batch at once and is bitwise identical to
+compressing image-by-image.
 """
 
 from __future__ import annotations
@@ -12,7 +16,15 @@ from __future__ import annotations
 import numpy as np
 from scipy.fft import dctn, idctn
 
-__all__ = ["compress", "COMPRESSION_METHODS", "jpeg_compress", "compress_none", "quality_to_quant_table"]
+__all__ = [
+    "compress",
+    "compress_batch",
+    "COMPRESSION_METHODS",
+    "COMPRESSION_BATCH_METHODS",
+    "jpeg_compress",
+    "compress_none",
+    "quality_to_quant_table",
+]
 
 # Standard JPEG luminance quantization table (Annex K of ITU-T T.81).
 _BASE_QUANT_TABLE = np.array(
@@ -54,27 +66,29 @@ def quality_to_quant_table(quality: int) -> np.ndarray:
     return np.clip(table, 1.0, 255.0)
 
 
-def _blockwise_quantize(plane: np.ndarray, quant: np.ndarray) -> np.ndarray:
-    """DCT-quantize-dequantize-IDCT every 8x8 block of a single plane."""
-    h, w = plane.shape
+def _blockwise_quantize(planes: np.ndarray, quant: np.ndarray) -> np.ndarray:
+    """DCT-quantize-dequantize-IDCT every 8x8 block of ``(N, H, W)`` planes."""
+    n, h, w = planes.shape
     pad_h = (-h) % _BLOCK
     pad_w = (-w) % _BLOCK
-    padded = np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
-    ph, pw = padded.shape
-    blocks = padded.reshape(ph // _BLOCK, _BLOCK, pw // _BLOCK, _BLOCK).transpose(0, 2, 1, 3)
-    coeffs = dctn(blocks, axes=(2, 3), norm="ortho")
+    padded = np.pad(planes, ((0, 0), (0, pad_h), (0, pad_w)), mode="edge")
+    ph, pw = padded.shape[1:]
+    blocks = padded.reshape(n, ph // _BLOCK, _BLOCK, pw // _BLOCK, _BLOCK).transpose(0, 1, 3, 2, 4)
+    coeffs = dctn(blocks, axes=(3, 4), norm="ortho")
     quantized = np.round(coeffs / quant) * quant
-    recon = idctn(quantized, axes=(2, 3), norm="ortho")
-    out = recon.transpose(0, 2, 1, 3).reshape(ph, pw)
-    return out[:h, :w]
+    recon = idctn(quantized, axes=(3, 4), norm="ortho")
+    out = recon.transpose(0, 1, 3, 2, 4).reshape(n, ph, pw)
+    return out[:, :h, :w]
 
 
-def jpeg_compress(image: np.ndarray, quality: int = 85) -> np.ndarray:
-    """Apply JPEG-style lossy compression and return the decompressed image."""
-    image = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+def jpeg_compress_batch(images: np.ndarray, quality: int = 85) -> np.ndarray:
+    """Apply JPEG-style lossy compression to an ``(N, H, W, 3)`` batch."""
+    images = np.clip(np.asarray(images, dtype=np.float64), 0.0, 1.0)
+    if images.ndim != 4:
+        raise ValueError(f"expected an (N, H, W, C) batch, got shape {images.shape}")
     quant = quality_to_quant_table(quality) / 255.0  # work in [0, 1] space
-    flat = image.reshape(-1, 3) @ _RGB_TO_YCBCR.T
-    ycbcr = flat.reshape(image.shape)
+    flat = images.reshape(-1, 3) @ _RGB_TO_YCBCR.T
+    ycbcr = flat.reshape(images.shape)
     out = np.empty_like(ycbcr)
     for channel in range(3):
         # Chroma planes use a stronger effective quantization (JPEG subsamples
@@ -82,7 +96,12 @@ def jpeg_compress(image: np.ndarray, quality: int = 85) -> np.ndarray:
         channel_quant = quant if channel == 0 else quant * 2.0
         out[..., channel] = _blockwise_quantize(ycbcr[..., channel], channel_quant)
     rgb = out.reshape(-1, 3) @ _YCBCR_TO_RGB.T
-    return np.clip(rgb.reshape(image.shape), 0.0, 1.0)
+    return np.clip(rgb.reshape(images.shape), 0.0, 1.0)
+
+
+def jpeg_compress(image: np.ndarray, quality: int = 85) -> np.ndarray:
+    """Apply JPEG-style lossy compression to one image (batched kernel, N=1)."""
+    return jpeg_compress_batch(np.asarray(image, dtype=np.float64)[None], quality)[0]
 
 
 def compress_none(image: np.ndarray) -> np.ndarray:
@@ -98,10 +117,24 @@ def _jpeg50(image: np.ndarray) -> np.ndarray:
     return jpeg_compress(image, quality=50)
 
 
+def _jpeg85_batch(images: np.ndarray) -> np.ndarray:
+    return jpeg_compress_batch(images, quality=85)
+
+
+def _jpeg50_batch(images: np.ndarray) -> np.ndarray:
+    return jpeg_compress_batch(images, quality=50)
+
+
 COMPRESSION_METHODS = {
     "jpeg85": _jpeg85,
     "none": compress_none,
     "jpeg50": _jpeg50,
+}
+
+COMPRESSION_BATCH_METHODS = {
+    "jpeg85": _jpeg85_batch,
+    "none": compress_none,
+    "jpeg50": _jpeg50_batch,
 }
 
 
@@ -114,3 +147,17 @@ def compress(image: np.ndarray, method: str = "jpeg85") -> np.ndarray:
             f"unknown compression method '{method}'; options: {sorted(COMPRESSION_METHODS)}"
         ) from exc
     return fn(image)
+
+
+def compress_batch(images: np.ndarray, method: str = "jpeg85") -> np.ndarray:
+    """Compress an ``(N, H, W, C)`` batch with the named method."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected an (N, H, W, C) batch, got shape {images.shape}")
+    try:
+        fn = COMPRESSION_BATCH_METHODS[method]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown compression method '{method}'; options: {sorted(COMPRESSION_BATCH_METHODS)}"
+        ) from exc
+    return fn(images)

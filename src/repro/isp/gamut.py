@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["gamut_map", "GAMUT_METHODS", "SRGB_TO_XYZ", "XYZ_TO_SRGB", "XYZ_TO_PROPHOTO"]
+__all__ = [
+    "gamut_map",
+    "gamut_map_batch",
+    "GAMUT_METHODS",
+    "GAMUT_BATCH_METHODS",
+    "SRGB_TO_XYZ",
+    "XYZ_TO_SRGB",
+    "XYZ_TO_PROPHOTO",
+]
 
 # Linear sRGB <-> CIE XYZ (D65), IEC 61966-2-1.
 SRGB_TO_XYZ = np.array(
@@ -34,6 +42,8 @@ XYZ_TO_PROPHOTO = np.array(
 
 
 def _apply_matrix(image: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Apply a 3x3 colour matrix to any ``(..., 3)`` array (per-pixel dot
+    products, so batching over a leading axis is bitwise identical)."""
     image = np.asarray(image, dtype=np.float64)
     flat = image.reshape(-1, 3) @ matrix.T
     return np.clip(flat.reshape(image.shape), 0.0, 1.0)
@@ -66,6 +76,10 @@ GAMUT_METHODS = {
     "prophoto": gamut_prophoto,
 }
 
+# The gamut transforms are pure per-pixel matrix products, so the per-image
+# functions already are the batched kernels.
+GAMUT_BATCH_METHODS = GAMUT_METHODS
+
 
 def gamut_map(image: np.ndarray, method: str = "srgb") -> np.ndarray:
     """Gamut-map with the named method (see :data:`GAMUT_METHODS`)."""
@@ -74,3 +88,11 @@ def gamut_map(image: np.ndarray, method: str = "srgb") -> np.ndarray:
     except KeyError as exc:
         raise ValueError(f"unknown gamut method '{method}'; options: {sorted(GAMUT_METHODS)}") from exc
     return fn(image)
+
+
+def gamut_map_batch(images: np.ndarray, method: str = "srgb") -> np.ndarray:
+    """Gamut-map an ``(N, H, W, C)`` batch with the named method."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected an (N, H, W, C) batch, got shape {images.shape}")
+    return gamut_map(images, method)

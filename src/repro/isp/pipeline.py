@@ -18,13 +18,13 @@ from typing import Dict, List
 
 import numpy as np
 
-from .compression import COMPRESSION_METHODS, compress
-from .demosaic import DEMOSAIC_METHODS, demosaic
-from .denoise import DENOISE_METHODS, denoise
-from .gamut import GAMUT_METHODS, gamut_map
-from .raw import RawImage
-from .tone import TONE_METHODS, tone_transform
-from .white_balance import WHITE_BALANCE_METHODS, white_balance
+from .compression import COMPRESSION_METHODS, compress_batch
+from .demosaic import DEMOSAIC_METHODS, demosaic_batch
+from .denoise import DENOISE_METHODS, denoise_batch
+from .gamut import GAMUT_METHODS, gamut_map_batch
+from .raw import RawBatch, RawImage
+from .tone import TONE_METHODS, tone_transform_batch
+from .white_balance import WHITE_BALANCE_METHODS, white_balance_batch
 
 __all__ = [
     "ISPConfig",
@@ -150,20 +150,26 @@ class ISPPipeline:
     def __init__(self, config: ISPConfig = BASELINE_CONFIG) -> None:
         self.config = config
 
-    def process(self, raw: RawImage) -> np.ndarray:
-        """Process a RAW mosaic into an HxWx3 image in [0, 1].
+    def process_batch(self, raw: RawBatch) -> np.ndarray:
+        """Process ``(N, H, W)`` RAW mosaics into ``(N, H, W, 3)`` images in [0, 1].
 
         The stage order follows Fig. 1: demosaicing must run before the
         colour stages, denoising operates on the demosaiced image (our
-        denoisers are RGB-domain), and compression runs last.
+        denoisers are RGB-domain), and compression runs last.  Every stage
+        kernel treats batch members independently, so this is bitwise
+        identical to processing the captures one at a time.
         """
-        image = demosaic(raw, self.config.demosaic)
-        image = denoise(image, self.config.denoise)
-        image = white_balance(image, self.config.white_balance)
-        image = gamut_map(image, self.config.gamut)
-        image = tone_transform(image, self.config.tone)
-        image = compress(image, self.config.compression)
-        return np.clip(image, 0.0, 1.0)
+        images = demosaic_batch(raw, self.config.demosaic)
+        images = denoise_batch(images, self.config.denoise)
+        images = white_balance_batch(images, self.config.white_balance)
+        images = gamut_map_batch(images, self.config.gamut)
+        images = tone_transform_batch(images, self.config.tone)
+        images = compress_batch(images, self.config.compression)
+        return np.clip(images, 0.0, 1.0)
+
+    def process(self, raw: RawImage) -> np.ndarray:
+        """Process one RAW mosaic into an HxWx3 image (batched kernel, N=1)."""
+        return self.process_batch(raw.as_batch())[0]
 
     def __call__(self, raw: RawImage) -> np.ndarray:
         return self.process(raw)

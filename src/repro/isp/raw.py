@@ -13,7 +13,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RawImage", "bayer_mosaic", "BAYER_PATTERNS", "raw_to_training_array"]
+__all__ = [
+    "RawImage",
+    "RawBatch",
+    "bayer_mosaic",
+    "bayer_mosaic_batch",
+    "BAYER_PATTERNS",
+    "raw_to_training_array",
+    "raw_to_training_array_batch",
+]
 
 # Offsets of (R, G1, G2, B) sites within the 2x2 Bayer tile for each pattern.
 BAYER_PATTERNS = {
@@ -61,17 +69,80 @@ class RawImage:
 
     def channel_mask(self, channel: str) -> np.ndarray:
         """Boolean mask of pixels belonging to ``channel`` ('R', 'G', or 'B')."""
-        h, w = self.mosaic.shape
-        mask = np.zeros((h, w), dtype=bool)
-        sites = BAYER_PATTERNS[self.pattern]
-        if channel == "G":
-            keys = ["G1", "G2"]
-        else:
-            keys = [channel]
-        for key in keys:
-            dy, dx = sites[key]
-            mask[dy::2, dx::2] = True
-        return mask
+        return _channel_mask(self.mosaic.shape, self.pattern, channel)
+
+    def as_batch(self) -> "RawBatch":
+        """View this capture as a single-image :class:`RawBatch`."""
+        return RawBatch(mosaics=self.mosaic[None], pattern=self.pattern,
+                        black_level=self.black_level, device=self.device)
+
+
+@dataclass
+class RawBatch:
+    """A stack of RAW Bayer mosaics sharing one pattern and black level.
+
+    The batched ISP kernels consume this instead of :class:`RawImage`:
+    ``mosaics`` is ``(N, H, W)`` and all per-capture metadata is shared, which
+    matches how captures are produced (one device, one scene pool).
+    """
+
+    mosaics: np.ndarray
+    pattern: str = "RGGB"
+    black_level: float = 0.0
+    device: str | None = None
+
+    def __post_init__(self) -> None:
+        self.mosaics = np.asarray(self.mosaics, dtype=np.float64)
+        if self.mosaics.ndim != 3:
+            raise ValueError(f"RAW batch must be (N, H, W), got shape {self.mosaics.shape}")
+        if self.mosaics.shape[1] % 2 or self.mosaics.shape[2] % 2:
+            raise ValueError("RAW mosaic dimensions must be even (full Bayer tiles)")
+        if self.pattern not in BAYER_PATTERNS:
+            raise ValueError(f"unknown Bayer pattern '{self.pattern}'")
+
+    def __len__(self) -> int:
+        return len(self.mosaics)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.mosaics.shape
+
+    def channel_mask(self, channel: str) -> np.ndarray:
+        """Boolean ``(H, W)`` mask of pixels belonging to ``channel``."""
+        return _channel_mask(self.mosaics.shape[1:], self.pattern, channel)
+
+    def __getitem__(self, index: int) -> RawImage:
+        return RawImage(mosaic=self.mosaics[index], pattern=self.pattern,
+                        black_level=self.black_level, device=self.device)
+
+
+def _channel_mask(shape: tuple[int, int], pattern: str, channel: str) -> np.ndarray:
+    h, w = shape
+    mask = np.zeros((h, w), dtype=bool)
+    sites = BAYER_PATTERNS[pattern]
+    keys = ["G1", "G2"] if channel == "G" else [channel]
+    for key in keys:
+        dy, dx = sites[key]
+        mask[dy::2, dx::2] = True
+    return mask
+
+
+def bayer_mosaic_batch(rgb: np.ndarray, pattern: str = "RGGB") -> np.ndarray:
+    """Sample an ``(N, H, W, 3)`` linear-RGB batch onto ``(N, H, W)`` mosaics."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 4 or rgb.shape[3] != 3:
+        raise ValueError(f"expected an (N, H, W, 3) batch, got {rgb.shape}")
+    if pattern not in BAYER_PATTERNS:
+        raise ValueError(f"unknown Bayer pattern '{pattern}'")
+    n, h, w, _ = rgb.shape
+    if h % 2 or w % 2:
+        raise ValueError("image dimensions must be even for Bayer sampling")
+    mosaics = np.zeros((n, h, w), dtype=np.float64)
+    sites = BAYER_PATTERNS[pattern]
+    channel_index = {"R": 0, "G1": 1, "G2": 1, "B": 2}
+    for key, (dy, dx) in sites.items():
+        mosaics[:, dy::2, dx::2] = rgb[:, dy::2, dx::2, channel_index[key]]
+    return mosaics
 
 
 def bayer_mosaic(rgb: np.ndarray, pattern: str = "RGGB") -> np.ndarray:
@@ -83,21 +154,11 @@ def bayer_mosaic(rgb: np.ndarray, pattern: str = "RGGB") -> np.ndarray:
     rgb = np.asarray(rgb, dtype=np.float64)
     if rgb.ndim != 3 or rgb.shape[2] != 3:
         raise ValueError(f"expected HxWx3 image, got {rgb.shape}")
-    if pattern not in BAYER_PATTERNS:
-        raise ValueError(f"unknown Bayer pattern '{pattern}'")
-    h, w, _ = rgb.shape
-    if h % 2 or w % 2:
-        raise ValueError("image dimensions must be even for Bayer sampling")
-    mosaic = np.zeros((h, w), dtype=np.float64)
-    sites = BAYER_PATTERNS[pattern]
-    channel_index = {"R": 0, "G1": 1, "G2": 1, "B": 2}
-    for key, (dy, dx) in sites.items():
-        mosaic[dy::2, dx::2] = rgb[dy::2, dx::2, channel_index[key]]
-    return mosaic
+    return bayer_mosaic_batch(rgb[None], pattern=pattern)[0]
 
 
-def raw_to_training_array(raw: RawImage) -> np.ndarray:
-    """Convert a RAW mosaic to a 3-channel array for direct model training.
+def raw_to_training_array_batch(raw: RawBatch) -> np.ndarray:
+    """Convert ``(N, H, W)`` RAW mosaics to ``(N, H/2, W/2, 3)`` training arrays.
 
     The paper's Section 3.3 trains models on RAW data *without* any ISP.  To
     feed a 3-channel network we de-interleave the Bayer tiles into half-
@@ -105,14 +166,18 @@ def raw_to_training_array(raw: RawImage) -> np.ndarray:
     which preserves the un-processed sensor response while matching the model's
     input layout.
     """
-    h, w = raw.mosaic.shape
     sites = BAYER_PATTERNS[raw.pattern]
 
     def plane(key: str) -> np.ndarray:
         dy, dx = sites[key]
-        return raw.mosaic[dy::2, dx::2]
+        return raw.mosaics[:, dy::2, dx::2]
 
     red = plane("R")
     green = 0.5 * (plane("G1") + plane("G2"))
     blue = plane("B")
     return np.stack([red, green, blue], axis=-1)
+
+
+def raw_to_training_array(raw: RawImage) -> np.ndarray:
+    """Convert one RAW mosaic to a 3-channel training array (batched kernel, N=1)."""
+    return raw_to_training_array_batch(raw.as_batch())[0]

@@ -4,6 +4,10 @@ The paper's Section 3.4 finds white balance to be one of the two most
 influential ISP stages (56.0% accuracy degradation when omitted).  Baseline is
 the gray-world assumption, Option 1 omits the stage, Option 2 is white-patch
 (a.k.a. max-RGB) balancing.
+
+Gains are estimated per image, so the batched ``(N, H, W, C)`` kernels reduce
+over each image's pixels independently — stacking is bitwise identical to
+looping image-by-image.
 """
 
 from __future__ import annotations
@@ -12,7 +16,9 @@ import numpy as np
 
 __all__ = [
     "white_balance",
+    "white_balance_batch",
     "WHITE_BALANCE_METHODS",
+    "WHITE_BALANCE_BATCH_METHODS",
     "gray_world",
     "white_patch",
     "white_balance_none",
@@ -27,21 +33,43 @@ def apply_gains(image: np.ndarray, gains: np.ndarray | tuple[float, float, float
     return np.clip(image * gains_arr, 0.0, 1.0)
 
 
-def gray_world(image: np.ndarray) -> np.ndarray:
+def _as_batch(images: np.ndarray) -> np.ndarray:
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected an (N, H, W, C) batch, got shape {images.shape}")
+    return images
+
+
+def gray_world_batch(images: np.ndarray) -> np.ndarray:
     """Gray-world white balance: scale channels so their means are equal."""
-    image = np.asarray(image, dtype=np.float64)
-    means = image.reshape(-1, 3).mean(axis=0)
-    target = means.mean()
+    images = _as_batch(images)
+    means = images.reshape(len(images), -1, 3).mean(axis=1)      # (N, 3)
+    target = means.mean(axis=-1, keepdims=True)                  # (N, 1)
     gains = target / np.maximum(means, 1e-6)
-    return apply_gains(image, gains)
+    return np.clip(images * gains[:, None, None, :], 0.0, 1.0)
+
+
+def white_patch_batch(images: np.ndarray, percentile: float = 99.0) -> np.ndarray:
+    """White-patch (max-RGB) balance: map the brightest response of each channel to white."""
+    images = _as_batch(images)
+    maxima = np.percentile(images.reshape(len(images), -1, 3), percentile, axis=1)
+    gains = 1.0 / np.maximum(maxima, 1e-6)
+    return np.clip(images * gains[:, None, None, :], 0.0, 1.0)
+
+
+def white_balance_none_batch(images: np.ndarray) -> np.ndarray:
+    """Pass-through used when the white-balance stage is omitted."""
+    return _as_batch(images)
+
+
+def gray_world(image: np.ndarray) -> np.ndarray:
+    """Gray-world white balance of one image (batched kernel, N=1)."""
+    return gray_world_batch(np.asarray(image, dtype=np.float64)[None])[0]
 
 
 def white_patch(image: np.ndarray, percentile: float = 99.0) -> np.ndarray:
-    """White-patch (max-RGB) balance: map the brightest response of each channel to white."""
-    image = np.asarray(image, dtype=np.float64)
-    maxima = np.percentile(image.reshape(-1, 3), percentile, axis=0)
-    gains = 1.0 / np.maximum(maxima, 1e-6)
-    return apply_gains(image, gains)
+    """White-patch balance of one image (batched kernel, N=1)."""
+    return white_patch_batch(np.asarray(image, dtype=np.float64)[None], percentile)[0]
 
 
 def white_balance_none(image: np.ndarray) -> np.ndarray:
@@ -55,6 +83,12 @@ WHITE_BALANCE_METHODS = {
     "white_patch": white_patch,
 }
 
+WHITE_BALANCE_BATCH_METHODS = {
+    "gray_world": gray_world_batch,
+    "none": white_balance_none_batch,
+    "white_patch": white_patch_batch,
+}
+
 
 def white_balance(image: np.ndarray, method: str = "gray_world") -> np.ndarray:
     """White-balance with the named method (see :data:`WHITE_BALANCE_METHODS`)."""
@@ -65,3 +99,14 @@ def white_balance(image: np.ndarray, method: str = "gray_world") -> np.ndarray:
             f"unknown white balance method '{method}'; options: {sorted(WHITE_BALANCE_METHODS)}"
         ) from exc
     return fn(image)
+
+
+def white_balance_batch(images: np.ndarray, method: str = "gray_world") -> np.ndarray:
+    """White-balance an ``(N, H, W, C)`` batch with the named method."""
+    try:
+        fn = WHITE_BALANCE_BATCH_METHODS[method]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown white balance method '{method}'; options: {sorted(WHITE_BALANCE_BATCH_METHODS)}"
+        ) from exc
+    return fn(images)

@@ -87,11 +87,15 @@ def _device_capture(
     devices: Optional[Sequence[str]] = None,
     raw: bool = False,
     shares: str = "market",
+    capture_cache: Optional[str] = None,
 ) -> DataBundle:
     """The Table 1 smartphone-capture dataset (Tables 4/5, Figs 1-5, 9).
 
     ``shares`` selects the partition weighting: ``"market"`` follows the
     Table 1 market shares, ``"uniform"`` weights every device equally.
+    ``capture_cache`` names a directory where per-device captures are
+    persisted and reloaded bitwise-identically (the CLI's
+    ``--capture-cache``); it never changes the data, only the build cost.
     """
     device_names = list(devices) if devices else list(DEVICE_NAMES)
     bundle = build_device_datasets(
@@ -103,6 +107,7 @@ def _device_capture(
         devices=device_names,
         raw=raw,
         seed=seed,
+        cache=capture_cache,
     )
     if shares == "market":
         share_map = {name: value for name, value in market_shares().items()

@@ -66,6 +66,11 @@ STORE_FORMAT_VERSION = 1
 # relabeling a spec or switching execution backend finds the same run.
 _RESULT_NEUTRAL_FIELDS = ("seeds", "name", "executor", "max_workers")
 
+# Dataset-builder kwargs that only change build cost, never the data (cache
+# hits are bitwise-identical to rebuilds), so a run started without a capture
+# cache resumes cleanly with one and vice versa.
+_RESULT_NEUTRAL_DATASET_KWARGS = ("capture_cache",)
+
 _CHECKPOINT_PATTERN = re.compile(r"^round_(\d+)\.npz$")
 
 
@@ -82,6 +87,10 @@ def spec_hash(spec: "RunSpec") -> str:
     data = spec.to_dict()
     for field_name in _RESULT_NEUTRAL_FIELDS:
         data.pop(field_name, None)
+    dataset_kwargs = data.get("dataset_kwargs")
+    if isinstance(dataset_kwargs, dict):
+        for kwarg in _RESULT_NEUTRAL_DATASET_KWARGS:
+            dataset_kwargs.pop(kwarg, None)
     blob = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 

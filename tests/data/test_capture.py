@@ -3,10 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.data.capture import CaptureConfig, build_device_datasets, capture_with_device
+from repro.data.capture import (
+    CaptureConfig,
+    build_device_datasets,
+    capture_with_device,
+    capture_with_device_scalar,
+)
 from repro.data.scenes import generate_scene_dataset
-from repro.devices.profiles import get_device
-from repro.isp.pipeline import BASELINE_CONFIG
+from repro.devices.profiles import DEVICE_PROFILES, get_device
+from repro.isp.pipeline import BASELINE_CONFIG, OPTION2_CONFIG
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +89,53 @@ class TestCaptureWithDevice:
         scenes, _ = scenes_and_labels
         with pytest.raises(ValueError):
             capture_with_device(scenes, np.zeros(1), get_device("S6"))
+
+
+class TestBatchedScalarEquivalence:
+    """The tentpole guarantee: batched capture == per-scene loop, bitwise."""
+
+    @pytest.mark.parametrize("device", sorted(DEVICE_PROFILES))
+    def test_every_device_isp(self, device, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        cfg = CaptureConfig(image_size=16, seed=11)
+        batched = capture_with_device(scenes, labels, get_device(device), cfg)
+        scalar = capture_with_device_scalar(scenes, labels, get_device(device), cfg)
+        np.testing.assert_array_equal(batched.features, scalar.features)
+        np.testing.assert_array_equal(batched.labels, scalar.labels)
+        assert batched.metadata == scalar.metadata
+
+    @pytest.mark.parametrize("device", ["Pixel5", "S22", "S6"])
+    def test_raw_path(self, device, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        cfg = CaptureConfig(image_size=16, raw=True, seed=12)
+        batched = capture_with_device(scenes, labels, get_device(device), cfg)
+        scalar = capture_with_device_scalar(scenes, labels, get_device(device), cfg)
+        np.testing.assert_array_equal(batched.features, scalar.features)
+
+    def test_isp_override(self, scenes_and_labels):
+        scenes, labels = scenes_and_labels
+        cfg = CaptureConfig(image_size=16, isp_override=OPTION2_CONFIG, seed=13)
+        batched = capture_with_device(scenes, labels, get_device("G4"), cfg)
+        scalar = capture_with_device_scalar(scenes, labels, get_device("G4"), cfg)
+        np.testing.assert_array_equal(batched.features, scalar.features)
+
+    def test_rng_stream_matches_legacy_per_scene_draws(self, scenes_and_labels):
+        """The batched noise block must consume the generator exactly like the
+        legacy loop: per scene, a shot-noise draw then a read-noise draw."""
+        scenes, _ = scenes_and_labels
+        sensor = get_device("S9").sensor
+        rng_legacy = np.random.default_rng(99)
+        legacy_mosaics = []
+        for scene in scenes:
+            irradiance = sensor.expose(scene)
+            shot_sigma = np.sqrt(np.maximum(irradiance, 0.0)) * sensor.shot_noise_scale
+            noisy = irradiance + rng_legacy.normal(0.0, 1.0, size=irradiance.shape) * shot_sigma
+            noisy = noisy + rng_legacy.normal(0.0, sensor.read_noise, size=irradiance.shape)
+            noisy = np.clip(noisy, 0.0, 1.0)
+            from repro.isp.raw import bayer_mosaic
+            legacy_mosaics.append(bayer_mosaic(noisy, pattern=sensor.bayer_pattern))
+        batched = sensor.capture_raw_batch(scenes, np.random.default_rng(99))
+        np.testing.assert_array_equal(batched.mosaics, np.stack(legacy_mosaics))
 
 
 class TestBuildDeviceDatasets:

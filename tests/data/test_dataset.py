@@ -56,6 +56,28 @@ class TestArrayDataset:
         ds = ArrayDataset(np.zeros((4, 2)), np.zeros(4), metadata={"device": "S6"})
         assert ds.subset(np.array([0, 1])).metadata == {"device": "S6"}
 
+    def test_subset_boolean_mask_selects_masked_rows(self):
+        """Regression: a bool mask used to be coerced to int 0/1 indices,
+        returning samples 0 and 1 repeatedly instead of the masked rows."""
+        ds = make_dataset(6)
+        mask = np.array([False, True, False, False, True, True])
+        sub = ds.subset(mask)
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features, ds.features[[1, 4, 5]])
+        np.testing.assert_array_equal(sub.labels, ds.labels[[1, 4, 5]])
+
+    def test_subset_boolean_mask_differs_from_int_coercion(self):
+        ds = make_dataset(4)
+        mask = np.array([False, True, True, False])
+        sub = ds.subset(mask)
+        coerced = ds.subset(mask.astype(int))  # the old, buggy interpretation
+        assert not np.array_equal(sub.features, coerced.features)
+
+    def test_subset_rejects_wrong_length_mask(self):
+        ds = make_dataset(5)
+        with pytest.raises(ValueError):
+            ds.subset(np.array([True, False]))
+
 
 class TestDataLoader:
     def test_batches_cover_all_samples(self):
@@ -136,3 +158,28 @@ class TestTrainTestSplit:
     def test_invalid_fraction(self):
         with pytest.raises(ValueError):
             train_test_split(make_dataset(), 1.5)
+
+    def test_two_sample_class_keeps_one_in_train(self):
+        """Regression: the per-class test count was uncapped, so a 2-sample
+        class at a high test fraction lost *all* its samples to test."""
+        labels = np.array([0] * 10 + [1] * 2)
+        ds = ArrayDataset(np.arange(12, dtype=float).reshape(12, 1), labels)
+        for seed in range(5):
+            train, test = train_test_split(ds, test_fraction=0.75, seed=seed)
+            assert np.count_nonzero(train.labels == 1) == 1
+            assert np.count_nonzero(test.labels == 1) == 1
+
+    def test_single_sample_class_goes_to_test(self):
+        """A 1-sample class cannot appear in both splits; the floor of one
+        test sample per class wins (documented behaviour)."""
+        labels = np.array([0] * 8 + [1])
+        ds = ArrayDataset(np.arange(9, dtype=float).reshape(9, 1), labels)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert np.count_nonzero(test.labels == 1) == 1
+        assert np.count_nonzero(train.labels == 1) == 0
+
+    def test_every_multi_sample_class_survives_in_train(self):
+        labels = np.repeat(np.arange(5), 2)  # five 2-sample classes
+        ds = ArrayDataset(np.arange(10, dtype=float).reshape(10, 1), labels)
+        train, _ = train_test_split(ds, test_fraction=0.9, seed=3)
+        assert set(np.unique(train.labels)) == set(range(5))

@@ -191,6 +191,43 @@ class TestBench:
         assert strip(serial) == strip(parallel)
 
 
+class TestCaptureCacheFlag:
+    def test_capture_cache_flag_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--strategy", "fedavg", "--capture-cache", "cc"])
+        assert args.capture_cache == "cc"
+
+    def test_bench_with_capture_cache_populates_and_reuses(self, spec_file, tmp_path, capsys):
+        cache_dir = tmp_path / "capture-cache"
+        assert main(["bench", "--spec", spec_file, "--capture-cache", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        entries = list(cache_dir.glob("*.npz"))
+        assert len(entries) == 6  # 3 devices x train/test
+        assert main(["bench", "--spec", spec_file, "--capture-cache", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        strip = lambda text: "\n".join(l for l in text.splitlines() if "completed in" not in l)
+        assert strip(first) == strip(second)
+        assert list(cache_dir.glob("*.npz")) == entries
+
+    def test_capture_cache_rejected_for_unsupported_dataset(self, spec_file, capsys):
+        assert main(["bench", "--spec", spec_file, "--dataset", "synthetic_cifar",
+                     "--capture-cache", "cc"]) == 2
+        err = capsys.readouterr().err
+        assert "--capture-cache is not supported" in err
+
+    def test_capture_cache_is_result_neutral_in_store(self, spec_file, tmp_path):
+        """A run stored without a cache is found again when one is added."""
+        import json as json_module
+
+        from repro.runtime import RunSpec
+        from repro.store.run_store import spec_hash
+
+        spec = RunSpec.from_dict(json_module.loads(open(spec_file).read()))
+        cached = spec.with_overrides(
+            dataset_kwargs={**spec.dataset_kwargs, "capture_cache": str(tmp_path)})
+        assert spec_hash(cached) == spec_hash(spec)
+
+
 class TestVersion:
     def test_version_flag_prints_library_version(self, capsys):
         import repro
