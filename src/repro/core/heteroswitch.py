@@ -89,6 +89,9 @@ class _GeneralizingStrategy(Strategy):
             transform=transform_fn,
             batch_hook=batch_hook if switch1 else None,
             seed=seed,
+            # Already measured above for the switch decision — identical
+            # weights and data, so re-evaluating it would be pure waste.
+            init_loss=init_loss,
         )
         switch2 = self._use_swad_weights(switch1, result.train_loss, context)
         if switch2 and averager.count > 0:

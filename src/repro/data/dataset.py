@@ -113,11 +113,26 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
-        indices = self._rng.permutation(n) if self.shuffle else np.arange(n)
         end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        features, labels = self.dataset.features, self.dataset.labels
+        if not self.shuffle:
+            # Sequential batches are contiguous slices (views) — same values
+            # as fancy-indexing with arange, without the per-batch copy.  The
+            # views are handed out read-only so a consumer that mutates its
+            # batch in place fails loudly instead of silently corrupting the
+            # dataset for every later iteration.
+            for start in range(0, end, self.batch_size):
+                stop = min(start + self.batch_size, end)
+                feature_view = features[start:stop]
+                label_view = labels[start:stop]
+                feature_view.flags.writeable = False
+                label_view.flags.writeable = False
+                yield feature_view, label_view
+            return
+        indices = self._rng.permutation(n)
         for start in range(0, end, self.batch_size):
             batch_idx = indices[start : start + self.batch_size]
-            yield self.dataset.features[batch_idx], self.dataset.labels[batch_idx]
+            yield features[batch_idx], labels[batch_idx]
 
 
 def train_test_split(

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..nn.engine import validate_engine
+
 __all__ = ["FLConfig", "TASKS"]
 
 TASKS = ("classification", "multilabel", "regression")
@@ -32,6 +34,12 @@ class FLConfig:
     ema_alpha: float = 0.9  # smoothing factor for L_EMA (Eq. 1, appendix: alpha = 0.9)
     seed: int = 0
     eval_every: int = 0  # 0 = evaluate only at the end
+    # Training substrate: "flat" = flat-parameter engine (fused optimizer
+    # steps, single-node hot-path kernels, arena broadcast/collect);
+    # "reference" = the seed per-parameter path.  Both are bitwise-identical
+    # (tests/fl/test_train_engine.py); "reference" exists as the golden
+    # baseline for equivalence tests and the training-throughput benchmark.
+    train_engine: str = "flat"
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -50,3 +58,4 @@ class FLConfig:
             raise ValueError(f"task must be one of {TASKS}, got '{self.task}'")
         if not 0.0 < self.ema_alpha <= 1.0:
             raise ValueError("ema_alpha must be in (0, 1]")
+        validate_engine(self.train_engine)

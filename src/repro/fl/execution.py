@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 import numpy as np
 
 from ..data.partition import ClientSpec
+from ..nn.engine import engine_mode
 from ..nn.serialization import clone_state
 from ..registry import Registry
 from .training import ClientResult
@@ -111,8 +112,15 @@ def run_client(
     global_state: Dict[str, np.ndarray],
     context: "FLContext",
 ) -> ClientResult:
-    """Run one client's local update and stamp the provenance aggregation needs."""
-    result = strategy.client_update(model, spec, global_state, context)
+    """Run one client's local update and stamp the provenance aggregation needs.
+
+    The whole update — including strategy-side evaluation such as
+    HeteroSwitch's bias measurement — runs under the config's training engine
+    (``flat`` or ``reference``); the mode is thread-local, so concurrent
+    clients on different engines cannot interfere.
+    """
+    with engine_mode(getattr(context.config, "train_engine", "flat")):
+        result = strategy.client_update(model, spec, global_state, context)
     result.client_id = spec.client_id
     return result
 

@@ -30,6 +30,7 @@ import numpy as np
 from ..core.ema import EMALossTracker
 from ..data.dataset import ArrayDataset
 from ..data.partition import ClientSpec
+from ..nn.engine import engine_mode
 from ..nn.layers import Module
 from ..nn.serialization import get_weights, set_weights
 from .callbacks import Callback, CallbackList, PeriodicEvaluation, SwitchTelemetry
@@ -308,8 +309,13 @@ class FederatedSimulation:
             self.strategy, self.model_fn, selected, self.global_state, self.context
         )
 
-        self._global_state = self.strategy.aggregate(self._global_state, results, self.context)
-        self.strategy.on_round_end(self.context, results)
+        # Server-side reduction runs under the configured training engine so
+        # "reference" rounds reproduce the seed dict-based aggregation exactly
+        # (the flat and reference reductions are bitwise-identical either way;
+        # see tests/fl/test_train_engine.py).
+        with engine_mode(self.config.train_engine):
+            self._global_state = self.strategy.aggregate(self._global_state, results, self.context)
+            self.strategy.on_round_end(self.context, results)
 
         record = RoundRecord(
             round_index=round_index,

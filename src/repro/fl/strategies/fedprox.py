@@ -39,11 +39,12 @@ class FedProx(Strategy):
         # model.parameters(); build the optimizer after weights are loaded by
         # local_train, so instead we construct it here and set the reference
         # from the broadcast global state keyed by parameter names.
-        from ...nn.serialization import set_weights
+        from ..training import broadcast_weights
 
-        set_weights(model, global_state)
+        arena = broadcast_weights(model, global_state, config)
         optimizer = ProximalSGD(model.parameters(), lr=config.learning_rate, mu=self.mu,
-                                momentum=config.momentum, weight_decay=config.weight_decay)
+                                momentum=config.momentum, weight_decay=config.weight_decay,
+                                fused=arena is not None)
         named = dict(model.named_parameters())
         optimizer.set_reference([named[name].data for name in named])
         result = local_train(model, spec.dataset, config, global_state,

@@ -16,7 +16,17 @@ from __future__ import annotations
 
 from typing import List
 
-from ...nn.serialization import add_states, scale_state, state_norm, subtract_states, zeros_like_state
+import numpy as np
+
+from ...nn.engine import current_engine
+from ...nn.serialization import (
+    StateLayout,
+    add_states,
+    scale_state,
+    state_norm,
+    subtract_states,
+    zeros_like_state,
+)
 from ..training import ClientResult
 from .base import FLContext, StateDict, Strategy, canonical_results
 
@@ -42,14 +52,52 @@ class QFedAvg(Strategy):
         if not results:
             raise ValueError("cannot aggregate an empty list of client results")
         lipschitz = 1.0 / context.config.learning_rate
+        if current_engine() == "reference":
+            return self._aggregate_reference(global_state, results, context, lipschitz)
 
-        weighted_delta_sum = zeros_like_state(global_state)
+        # Flat reduction over (n_clients, P): every step below is the exact
+        # whole-vector form of the dict-based reference (kept as the pinned
+        # baseline in tests/fl/test_train_engine.py).  Elementwise ops
+        # (subtract, scale, accumulate) are bitwise-identical flattened; the
+        # delta norm replays state_norm's per-key partial sums segment by
+        # segment in layout (key-insertion) order, including its
+        # sqrt-then-square round trip, so h_k matches bit-for-bit.
+        layout = StateLayout(global_state)
+        global_vec = layout.pack(global_state)
+        weighted_delta_sum = np.zeros(layout.size, dtype=np.float64)
+        delta_buf = np.empty(layout.size, dtype=np.float64)
         h_sum = 0.0
         # Canonical order makes the floating-point reduction permutation-invariant.
         for result in canonical_results(results, context):
-            delta = scale_state(subtract_states(global_state, result.state), lipschitz)
+            layout.pack(result.state, out=delta_buf)
+            delta = (global_vec - delta_buf) * lipschitz
             # Use the client's *initial* loss F_k (loss of the global model on the
             # client's data), as in the q-FFL formulation.
+            loss = max(result.init_loss, 1e-10)
+            loss_pow_q = loss ** self.q
+            norm = float(np.sqrt(sum(float(np.sum(segment ** 2))
+                                     for _, segment in layout.segments(delta))))
+            delta_norm_sq = norm ** 2
+            h_k = self.q * (loss ** (self.q - 1.0)) * delta_norm_sq + lipschitz * loss_pow_q
+            weighted_delta_sum = weighted_delta_sum + delta * loss_pow_q
+            h_sum += h_k
+        if h_sum <= 0:
+            raise RuntimeError("q-FedAvg aggregation produced a non-positive normalizer")
+        update = weighted_delta_sum * (1.0 / h_sum)
+        return layout.unpack(global_vec - update)
+
+    def _aggregate_reference(
+        self,
+        global_state: StateDict,
+        results: List[ClientResult],
+        context: FLContext,
+        lipschitz: float,
+    ) -> StateDict:
+        """The seed dict-based aggregation, kept as the pinned golden path."""
+        weighted_delta_sum = zeros_like_state(global_state)
+        h_sum = 0.0
+        for result in canonical_results(results, context):
+            delta = scale_state(subtract_states(global_state, result.state), lipschitz)
             loss = max(result.init_loss, 1e-10)
             loss_pow_q = loss ** self.q
             delta_norm_sq = state_norm(delta) ** 2

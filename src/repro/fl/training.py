@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.flat import FlatParams
 from ..nn.layers import Module
 from ..nn.optim import SGD, Optimizer
 from ..nn.serialization import get_weights, set_weights
@@ -24,7 +25,8 @@ from ..data.dataset import ArrayDataset, DataLoader
 from .config import FLConfig
 from .metrics import accuracy, heart_rate_deviation, mean_average_precision
 
-__all__ = ["ClientResult", "compute_loss", "evaluate_loss", "evaluate_metric", "local_train"]
+__all__ = ["ClientResult", "broadcast_weights", "compute_loss", "evaluate_loss",
+           "evaluate_metric", "local_train"]
 
 StateDict = Dict[str, np.ndarray]
 BatchHook = Callable[[Module, int, int], None]
@@ -45,6 +47,25 @@ class ClientResult:
     init_loss: float
     client_id: int = -1
     metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def broadcast_weights(model: Module, global_state: StateDict,
+                      config: FLConfig) -> Optional[FlatParams]:
+    """Load the broadcast global weights under the configured training engine.
+
+    Flat engine: the model's parameters live in one contiguous
+    :class:`~repro.nn.flat.FlatParams` arena (built and cached on first use),
+    so the load writes straight into it and collecting the trained weights is
+    a single vector copy; the cached arena is returned.  Reference engine:
+    the seed per-key ``set_weights`` path; returns ``None``.  The dict
+    ``StateDict`` stays the wire/serialization format either way.
+    """
+    if config.train_engine == "flat":
+        arena = FlatParams.from_module(model)
+        arena.load_state_dict(global_state)
+        return arena
+    set_weights(model, global_state)
+    return None
 
 
 def compute_loss(model: Module, features: np.ndarray, labels: np.ndarray, task: str) -> Tensor:
@@ -112,6 +133,7 @@ def local_train(
     batch_hook: Optional[BatchHook] = None,
     rng: Optional[np.random.Generator] = None,
     seed: int = 0,
+    init_loss: Optional[float] = None,
 ) -> ClientResult:
     """Run the generic ClientUpdate loop.
 
@@ -140,6 +162,11 @@ def local_train(
         per-batch weight averaging plug in here.
     rng:
         Random generator used by the transform.
+    init_loss:
+        Pre-computed loss of ``global_state`` on the client's data.  Callers
+        that already measured it (HeteroSwitch evaluates it to decide its
+        switches *before* training) pass it in so the identical evaluation is
+        not repeated; left ``None``, it is computed here.
 
     Returns
     -------
@@ -148,12 +175,14 @@ def local_train(
         batches (the paper's ``L_train``), and the pre-training loss on the
         client's data (``L_init``).
     """
-    set_weights(model, global_state)
-    init_loss = evaluate_loss(model, dataset, config.task, batch_size=max(config.batch_size, 32))
+    arena = broadcast_weights(model, global_state, config)
+    if init_loss is None:
+        init_loss = evaluate_loss(model, dataset, config.task, batch_size=max(config.batch_size, 32))
 
     if optimizer is None:
         optimizer = SGD(model.parameters(), lr=config.learning_rate,
-                        momentum=config.momentum, weight_decay=config.weight_decay)
+                        momentum=config.momentum, weight_decay=config.weight_decay,
+                        fused=arena is not None)
     rng = rng or np.random.default_rng(seed)
 
     loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, seed=seed)
@@ -175,7 +204,7 @@ def local_train(
             batch_index += 1
 
     return ClientResult(
-        state=get_weights(model),
+        state=arena.state_dict() if arena is not None else get_weights(model),
         num_samples=len(dataset),
         train_loss=train_loss,
         init_loss=init_loss,

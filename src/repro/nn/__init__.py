@@ -7,6 +7,8 @@ the model zoo.
 """
 
 from . import functional
+from .engine import TRAIN_ENGINES, current_engine, engine_mode
+from .flat import FlatParams, flat_arena_of
 from .layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -30,6 +32,7 @@ from .layers import (
 )
 from .optim import SGD, Optimizer, ProximalSGD
 from .serialization import (
+    StateLayout,
     add_states,
     average_states,
     get_weights,
@@ -47,6 +50,12 @@ __all__ = [
     "Tensor",
     "no_grad",
     "functional",
+    "TRAIN_ENGINES",
+    "current_engine",
+    "engine_mode",
+    "FlatParams",
+    "flat_arena_of",
+    "StateLayout",
     "Module",
     "Parameter",
     "Sequential",

@@ -1,0 +1,67 @@
+"""Training-engine mode selection for the NumPy substrate.
+
+The repository ships two bit-identical implementations of the training hot
+path:
+
+* ``"flat"`` (the default) — the flat-parameter engine: fused single-node
+  autograd kernels (:func:`repro.nn.functional.linear`,
+  :func:`repro.nn.functional.cross_entropy`), a bincount-based col2im scatter,
+  and whole-vector optimizer steps over a contiguous
+  :class:`~repro.nn.flat.FlatParams` arena.
+* ``"reference"`` — the seed per-parameter path: operator-composed autograd
+  graphs, ``np.add.at`` col2im, and per-parameter optimizer loops.
+
+Both engines produce bitwise-identical weights and metrics (the equivalence
+suite in ``tests/fl/test_train_engine.py`` pins this for every strategy and
+execution backend); the flat engine simply spends far less time in the Python
+interpreter.  The mode is *thread-local* so concurrent clients on the thread
+executor can train under different engines without interfering — the same
+reasoning that made gradient mode thread-local in :mod:`repro.nn.tensor`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["TRAIN_ENGINES", "current_engine", "engine_mode", "validate_engine"]
+
+TRAIN_ENGINES = ("flat", "reference")
+
+
+class _EngineMode(threading.local):
+    def __init__(self) -> None:
+        self.mode = "flat"
+
+
+_ENGINE = _EngineMode()
+
+
+def validate_engine(name: str) -> str:
+    """Check ``name`` is a known engine and return it."""
+    if name not in TRAIN_ENGINES:
+        raise ValueError(f"train engine must be one of {TRAIN_ENGINES}, got {name!r}")
+    return name
+
+
+def current_engine() -> str:
+    """The engine the current thread's hot-path kernels dispatch on."""
+    return _ENGINE.mode
+
+
+class engine_mode:
+    """Context manager selecting the hot-path engine for the current thread.
+
+    ``with engine_mode("reference"): ...`` runs the enclosed training code on
+    the seed per-parameter kernels; the previous mode is restored on exit.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = validate_engine(name)
+
+    def __enter__(self) -> "engine_mode":
+        self._prev = _ENGINE.mode
+        _ENGINE.mode = self._name
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ENGINE.mode = self._prev

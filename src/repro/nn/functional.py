@@ -3,18 +3,34 @@
 Convolutions use an im2col lowering so the inner computation is a single large
 matrix multiplication (vectorized in BLAS) rather than Python loops, following
 the vectorization guidance for NumPy ML-systems code.
+
+Hot-path kernels come in two bit-identical flavours selected by the
+thread-local engine mode (:mod:`repro.nn.engine`): the default ``"flat"``
+engine fuses :func:`linear` and :func:`cross_entropy` into single autograd
+nodes whose hand-written backward closures replicate the operator-composed
+graph expression-for-expression, and replaces the ``np.add.at`` col2im
+scatter with a bincount-based kernel; the ``"reference"`` engine keeps the
+seed operator-composed implementations as the golden path the fused kernels
+are tested against (``tests/nn/test_functional.py``).  im2col gather plans
+are cached by ``(C, H, W, kernel, stride, padding)`` in both engines — the
+index arrays are a pure function of the geometry, which is fixed across the
+batches of a training run.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from .engine import current_engine
 from .tensor import Tensor
 
 __all__ = [
     "linear",
+    "batch_norm_train",
+    "batch_norm_eval",
     "conv2d",
     "depthwise_conv2d",
     "max_pool2d",
@@ -50,14 +66,14 @@ def _pair(value: IntPair) -> Tuple[int, int]:
 # --------------------------------------------------------------------------- #
 # im2col / col2im helpers
 # --------------------------------------------------------------------------- #
-def _im2col_indices(
-    x_shape: Tuple[int, int, int, int],
+def _seed_im2col_indices(
+    chw: Tuple[int, int, int],
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Compute gather indices for im2col on an NCHW input."""
-    n, c, h, w = x_shape
+    """The seed's per-call im2col index computation (reference engine)."""
+    c, h, w = chw
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
@@ -76,33 +92,145 @@ def _im2col_indices(
     return k, i, j, out_h, out_w
 
 
+@lru_cache(maxsize=256)
+def _im2col_plan(
+    chw: Tuple[int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Gather/scatter index plan for im2col on an NCHW input.
+
+    The plan depends only on the per-image geometry ``(C, H, W)`` plus the
+    kernel / stride / padding, so it is computed once per layer configuration
+    and reused for every batch of a run.  Returned arrays are frozen
+    read-only: they are shared across threads and must never be mutated.
+    ``flat`` is the per-image flattened scatter target
+    ``(k * padded_h + i) * padded_w + j`` used by the bincount col2im kernel
+    (stored raveled alongside its 2-D shape so backward passes never rebuild
+    or re-ravel it).
+    """
+    c, h, w = chw
+    ph, pw = padding
+    k, i, j, out_h, out_w = _seed_im2col_indices(chw, kernel, stride, padding)
+    flat = (k * (h + 2 * ph) + i) * (w + 2 * pw) + j
+    for array in (k, i, j, flat):
+        array.flags.writeable = False
+    return k, i, j, flat, out_h, out_w
+
+
 def _im2col(
     x: np.ndarray,
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
-) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], int, int]:
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray], int, int]:
+    """Lower an NCHW batch to im2col columns.
+
+    Both engines produce identical columns — gathering moves bytes, it never
+    rounds.  The flat engine pulls its (cached) plan's flattened index matrix
+    through one ``np.take`` per batch and zero-pads by slice assignment; the
+    reference engine keeps the seed's ``np.pad`` + triple-fancy-index gather.
+    """
+    n, c, h, w = x.shape
     ph, pw = padding
+    if current_engine() == "reference":
+        # Seed path: k/i/j indices rebuilt per call (no plan cache, no
+        # scatter-target matrix — exactly the work the seed implementation
+        # did), np.pad, fancy-index gather.
+        k, i, j, out_h, out_w = _seed_im2col_indices((c, h, w), kernel, stride, padding)
+        if ph or pw:
+            x_padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+        else:
+            x_padded = x
+        cols = x_padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+        return cols, (k, i, j), out_h, out_w
+    k, i, j, flat, out_h, out_w = _im2col_plan((c, h, w), kernel, stride, padding)
     if ph or pw:
-        x_padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+        x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+        x_padded[:, :, ph : ph + h, pw : pw + w] = x
     else:
         x_padded = x
-    k, i, j, out_h, out_w = _im2col_indices(x.shape, kernel, stride, padding)
-    cols = x_padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
-    return cols, (k, i, j), out_h, out_w
+    cols = np.take(x_padded.reshape(n, -1), flat, axis=1)
+    return cols, (k, i, j, flat), out_h, out_w
+
+
+def _col2im_reference(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    indices: Tuple[np.ndarray, ...],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Seed col2im scatter via ``np.add.at`` (the reference-engine path)."""
+    n, c, h, w = x_shape
+    ph, pw = padding
+    k, i, j = indices[:3]
+    x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    np.add.at(x_padded, (slice(None), k, i, j), cols)
+    if ph or pw:
+        return x_padded[:, :, ph : ph + h, pw : pw + w]
+    return x_padded
+
+
+@lru_cache(maxsize=256)
+def _einsum_path(equation: str, *shapes: Tuple[int, ...]):
+    """Cached contraction path for an einsum call signature.
+
+    ``np.einsum(..., optimize=True)`` re-derives the contraction path on
+    every call — pure Python overhead that dominates small convolutions.  The
+    path is a function of the equation and operand shapes only, so the flat
+    engine computes it once and replays it; the replayed contraction is the
+    byte-for-byte computation ``optimize=True`` would have run.
+    """
+    dummies = [np.empty(shape) for shape in shapes]
+    return np.einsum_path(equation, *dummies, optimize=True)[0]
+
+
+def _einsum(equation: str, *operands: np.ndarray) -> np.ndarray:
+    """Engine-dispatched einsum: seed per-call optimize, or cached path."""
+    if current_engine() == "reference":
+        return np.einsum(equation, *operands, optimize=True)
+    path = _einsum_path(equation, *(op.shape for op in operands))
+    return np.einsum(equation, *operands, optimize=path)
 
 
 def _col2im(
     cols: np.ndarray,
     x_shape: Tuple[int, int, int, int],
-    indices: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    indices: Tuple[np.ndarray, ...],
     padding: Tuple[int, int],
 ) -> np.ndarray:
+    """Scatter im2col columns back onto the (padded) input grid.
+
+    The flat engine sums duplicate contributions with ``np.bincount`` — a
+    tight C loop — instead of ``np.add.at``'s buffered fancy-indexing
+    machinery (typically several times faster on conv-sized scatters).  Both
+    kernels visit the ``(N, F, P)`` contributions in the same C iteration
+    order, so duplicates targeting the same padded pixel accumulate in the
+    same sequence and the floating-point sums round identically (pinned
+    bitwise in ``tests/nn/test_functional.py``).
+    """
+    if current_engine() == "reference" or len(indices) < 4:
+        # The 3-index tuple comes from a reference-engine forward; a graph
+        # built there scatters through the seed kernel even if backward runs
+        # under the flat engine.
+        return _col2im_reference(cols, x_shape, indices, padding)
     n, c, h, w = x_shape
     ph, pw = padding
-    k, i, j = indices
-    x_padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
-    np.add.at(x_padded, (slice(None), k, i, j), cols)
+    flat = indices[3]  # (F, P) per-image flattened targets from the cached plan
+    hp, wp = h + 2 * ph, w + 2 * pw
+    per_image = c * hp * wp
+    # One bincount per image over the cached raveled targets: images scatter
+    # independently, so per-image accumulation is the same sequence of adds
+    # as one batch-wide scatter — without materialising an (N*F*P) offset
+    # target array on every backward call.
+    flat_ravel = flat.reshape(-1)
+    weights = cols.reshape(n, -1)
+    x_padded = np.empty((n, per_image), dtype=cols.dtype)
+    for image in range(n):
+        x_padded[image] = np.bincount(flat_ravel, weights=weights[image],
+                                      minlength=per_image)
+    x_padded = x_padded.reshape(n, c, hp, wp)
     if ph or pw:
         return x_padded[:, :, ph : ph + h, pw : pw + w]
     return x_padded
@@ -111,12 +239,199 @@ def _col2im(
 # --------------------------------------------------------------------------- #
 # Linear / convolution
 # --------------------------------------------------------------------------- #
-def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine transform ``x @ weight.T + bias`` for 2-D inputs."""
+def _linear_reference(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Operator-composed affine transform (the seed path): three graph nodes."""
     out = x @ weight.T
     if bias is not None:
         out = out + bias
     return out
+
+
+def _linear_fused(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Single-node affine transform, bitwise-equal to the composed graph.
+
+    Forward and backward evaluate exactly the expressions the composed
+    ``transpose -> matmul -> add`` graph evaluates — ``x @ W.T``, then
+    ``grad @ W``, ``(x.T @ grad).T`` and ``grad.sum(axis=0)`` — just without
+    building the two intermediate tensors and their closures per call.
+    """
+    out_data = x.data @ weight.data.transpose()
+    if bias is not None:
+        out_data = out_data + bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        out._send(x, grad @ weight.data)
+        out._send(weight, (x.data.transpose() @ grad).transpose())
+        if bias is not None:
+            out._send(bias, grad.sum(axis=0))
+
+    out = Tensor._make(out_data, parents, lambda g: backward(g, out))
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` for 2-D inputs."""
+    if x.ndim != 2 or current_engine() == "reference":
+        return _linear_reference(x, weight, bias)
+    return _linear_fused(x, weight, bias)
+
+
+def _seq_reduce(grad: np.ndarray, param_shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``param_shape`` one axis at a time, ascending.
+
+    This replicates :func:`repro.nn.tensor._unbroadcast`'s loop exactly —
+    sequential single-axis ``sum`` calls, not one multi-axis reduction — so
+    fused batch-norm gradients round identically to the composed graph.
+    """
+    for axis, size in enumerate(param_shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _batch_norm_train_reference(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    axes: Tuple[int, ...],
+    param_shape: Tuple[int, ...],
+    eps: float,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Operator-composed training batch norm (~12 graph nodes per call)."""
+    mean = x.mean(axis=axes, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=axes, keepdims=True)
+    inv_std = (var + eps) ** -0.5
+    normalized = centered * inv_std
+    out = normalized * weight.reshape(*param_shape) + bias.reshape(*param_shape)
+    return out, mean.data, var.data
+
+
+def _batch_norm_train_fused(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    axes: Tuple[int, ...],
+    param_shape: Tuple[int, ...],
+    eps: float,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Single-node training batch norm, bitwise-equal to the composed graph.
+
+    Forward and backward evaluate the exact expressions of the composed
+    ``mean -> center -> var -> inv_std -> scale -> shift`` graph — including
+    the ``sum * (1/count)`` means, the duplicated ``centered`` gradient of
+    ``centered * centered``, and the sequential single-axis reductions of
+    broadcast gradients — collapsed into one autograd node.
+    """
+    count = int(np.prod([x.shape[a] for a in axes]))
+    inv_count = 1.0 / count
+    x_data = x.data
+    mean = x_data.sum(axis=axes, keepdims=True) * inv_count
+    centered = x_data + (-mean)
+    sq = centered * centered
+    var = sq.sum(axis=axes, keepdims=True) * inv_count
+    var_eps = var + eps
+    inv_std = var_eps ** -0.5
+    normalized = centered * inv_std
+    w_r = weight.data.reshape(param_shape)
+    b_r = bias.data.reshape(param_shape)
+    out_data = normalized * w_r + b_r
+    x_shape = x_data.shape
+    dtype = x_data.dtype
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_bias = _seq_reduce(grad, param_shape)
+        grad_weight = _seq_reduce(grad * normalized, param_shape)
+        g_norm = grad * w_r
+        g_centered = g_norm * inv_std
+        g_inv = _seq_reduce(g_norm * centered, param_shape)
+        g_var = g_inv * -0.5 * var_eps ** -1.5
+        g_sq = np.broadcast_to(g_var * inv_count, x_shape).astype(dtype)
+        # centered*centered sends its gradient to `centered` twice — two
+        # separate accumulations, replicated here addition by addition.
+        t = g_sq * centered
+        g_centered = g_centered + t
+        g_centered = g_centered + t
+        g_x = g_centered
+        g_mean = -_seq_reduce(g_centered, param_shape)
+        g_x = g_x + np.broadcast_to(g_mean * inv_count, x_shape).astype(dtype)
+        out._send(x, g_x)
+        out._send(weight, grad_weight.reshape(weight.data.shape))
+        out._send(bias, grad_bias.reshape(bias.data.shape))
+
+    out = Tensor._make(out_data, (x, weight, bias), lambda g: backward(g, out))
+    return out, mean, var
+
+
+def batch_norm_train(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    axes: Tuple[int, ...],
+    param_shape: Tuple[int, ...],
+    eps: float,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Training-mode batch norm; returns ``(out, batch_mean, batch_var)``.
+
+    The returned statistics carry the ``keepdims`` shape of the reduction and
+    feed the caller's running-stat update.
+    """
+    if current_engine() == "reference":
+        return _batch_norm_train_reference(x, weight, bias, axes, param_shape, eps)
+    return _batch_norm_train_fused(x, weight, bias, axes, param_shape, eps)
+
+
+def _batch_norm_eval_reference(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    param_shape: Tuple[int, ...],
+    eps: float,
+) -> Tensor:
+    normalized = (x - Tensor(mean)) * Tensor(1.0 / np.sqrt(var + eps))
+    return normalized * weight.reshape(*param_shape) + bias.reshape(*param_shape)
+
+
+def _batch_norm_eval_fused(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    param_shape: Tuple[int, ...],
+    eps: float,
+) -> Tensor:
+    inv = 1.0 / np.sqrt(var + eps)
+    centered = x.data + (-mean)
+    normalized = centered * inv
+    w_r = weight.data.reshape(param_shape)
+    out_data = normalized * w_r + bias.data.reshape(param_shape)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        out._send(x, (grad * w_r) * inv)
+        out._send(weight, _seq_reduce(grad * normalized, param_shape).reshape(weight.data.shape))
+        out._send(bias, _seq_reduce(grad, param_shape).reshape(bias.data.shape))
+
+    out = Tensor._make(out_data, (x, weight, bias), lambda g: backward(g, out))
+    return out
+
+
+def batch_norm_eval(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    param_shape: Tuple[int, ...],
+    eps: float,
+) -> Tensor:
+    """Inference-mode batch norm using the running statistics."""
+    if current_engine() == "reference":
+        return _batch_norm_eval_reference(x, weight, bias, mean, var, param_shape, eps)
+    return _batch_norm_eval_fused(x, weight, bias, mean, var, param_shape, eps)
 
 
 def conv2d(
@@ -139,7 +454,7 @@ def conv2d(
 
     cols, indices, out_h, out_w = _im2col(x.data, (kh, kw), stride, padding)
     w_flat = weight.data.reshape(oc, -1)  # (oc, C*kh*kw)
-    out_data = np.einsum("of,nfp->nop", w_flat, cols, optimize=True)
+    out_data = _einsum("of,nfp->nop", w_flat, cols)
     out_data = out_data.reshape(n, oc, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, oc, 1, 1)
@@ -149,10 +464,10 @@ def conv2d(
     def backward(grad: np.ndarray, out: Tensor) -> None:
         grad_flat = grad.reshape(n, oc, out_h * out_w)
         # dL/dW
-        grad_w = np.einsum("nop,nfp->of", grad_flat, cols, optimize=True)
+        grad_w = _einsum("nop,nfp->of", grad_flat, cols)
         out._send(weight, grad_w.reshape(weight.shape))
         # dL/dx
-        grad_cols = np.einsum("of,nop->nfp", w_flat, grad_flat, optimize=True)
+        grad_cols = _einsum("of,nop->nfp", w_flat, grad_flat)
         grad_x = _col2im(grad_cols, x.shape, indices, padding)
         out._send(x, grad_x)
         if bias is not None:
@@ -184,7 +499,7 @@ def depthwise_conv2d(
     # cols: (N, C*kh*kw, P) -> (N, C, kh*kw, P)
     cols_grouped = cols.reshape(n, c, kh * kw, out_h * out_w)
     w_flat = weight.data.reshape(c, kh * kw)
-    out_data = np.einsum("ck,nckp->ncp", w_flat, cols_grouped, optimize=True)
+    out_data = _einsum("ck,nckp->ncp", w_flat, cols_grouped)
     out_data = out_data.reshape(n, c, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, c, 1, 1)
@@ -193,9 +508,9 @@ def depthwise_conv2d(
 
     def backward(grad: np.ndarray, out: Tensor) -> None:
         grad_flat = grad.reshape(n, c, out_h * out_w)
-        grad_w = np.einsum("ncp,nckp->ck", grad_flat, cols_grouped, optimize=True)
+        grad_w = _einsum("ncp,nckp->ck", grad_flat, cols_grouped)
         out._send(weight, grad_w.reshape(weight.shape))
-        grad_cols = np.einsum("ck,ncp->nckp", w_flat, grad_flat, optimize=True)
+        grad_cols = _einsum("ck,ncp->nckp", w_flat, grad_flat)
         grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
         grad_x = _col2im(grad_cols, x.shape, indices, padding)
         out._send(x, grad_x)
@@ -291,9 +606,29 @@ def hardsigmoid(x: Tensor) -> Tensor:
     return relu6(x + 3.0) * (1.0 / 6.0)
 
 
+def _hardswish_fused(x: Tensor) -> Tensor:
+    """Single-node hard-swish, bitwise-equal to the composed chain.
+
+    Replicates ``x * (clip(x + 3, 0, 6) * (1/6))`` and its backward —
+    ``g * hsig + ((g * x) * (1/6)) * mask`` — expression for expression.
+    """
+    shifted = x.data + 3.0
+    mask = (shifted >= 0.0) & (shifted <= 6.0)
+    hsig = np.clip(shifted, 0.0, 6.0) * (1.0 / 6.0)
+    out_data = x.data * hsig
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        out._send(x, grad * hsig + ((grad * x.data) * (1.0 / 6.0)) * mask)
+
+    out = Tensor._make(out_data, (x,), lambda g: backward(g, out))
+    return out
+
+
 def hardswish(x: Tensor) -> Tensor:
     """MobileNetV3 hard-swish: ``x * relu6(x + 3) / 6``."""
-    return x * hardsigmoid(x)
+    if current_engine() == "reference":
+        return x * hardsigmoid(x)
+    return _hardswish_fused(x)
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -318,8 +653,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def flatten(x: Tensor) -> Tensor:
     """Flatten all dimensions but the first."""
-    n = x.shape[0]
-    return x.reshape(n, int(np.prod(x.shape[1:])))
+    return x.reshape(x.shape[0], -1)
 
 
 def channel_shuffle(x: Tensor, groups: int) -> Tensor:
@@ -343,13 +677,56 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
 # --------------------------------------------------------------------------- #
 # Losses
 # --------------------------------------------------------------------------- #
-def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+def _cross_entropy_reference(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Operator-composed cross-entropy (the seed path): ~10 graph nodes."""
     targets = np.asarray(targets)
     n = logits.shape[0]
     log_probs = log_softmax(logits, axis=-1)
     picked = log_probs[np.arange(n), targets]
     return -picked.mean()
+
+
+def _cross_entropy_fused(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Single-node cross-entropy, bitwise-equal to the composed graph.
+
+    The composed graph (shift by max -> exp -> sum -> log -> gather -> mean
+    -> negate) builds ~10 tensors and closures per loss evaluation; this
+    kernel evaluates the same NumPy expressions in the same order (including
+    the ``sum * (1/n)`` mean and the row-sum the broadcast-add backward
+    performs) inside one node, so both the loss value and the logits gradient
+    match the reference bit-for-bit (``tests/nn/test_functional.py``).
+    """
+    targets = np.asarray(targets)
+    n, num_classes = logits.shape
+    rows = np.arange(n)
+    x = logits.data
+    mx = x.max(axis=-1, keepdims=True)
+    shifted = x - mx
+    ex = np.exp(shifted)
+    sumexp = ex.sum(axis=-1, keepdims=True)
+    logsum = np.log(sumexp)
+    picked = shifted[rows, targets] - logsum[:, 0]
+    out_data = -(picked.sum() * (1.0 / n))
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        # Replicates the composed chain: negate -> mean -> gather-scatter ->
+        # broadcast-add (row sum) -> log -> sum (broadcast) -> exp -> shift.
+        g_picked = np.broadcast_to((-grad) * (1.0 / n), (n,)).astype(np.float64)
+        scatter = np.zeros((n, num_classes), dtype=np.float64)
+        scatter[rows, targets] = g_picked
+        g_logsum = -scatter.sum(axis=1, keepdims=True)
+        g_exp = np.broadcast_to(g_logsum / sumexp, (n, num_classes)).astype(np.float64)
+        out._send(logits, scatter + g_exp * ex)
+
+    out = Tensor._make(np.asarray(out_data), (logits,), lambda g: backward(g, out))
+    return out
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    if current_engine() == "reference":
+        return _cross_entropy_reference(logits, targets)
+    return _cross_entropy_fused(logits, targets)
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -358,13 +735,8 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
     Uses the standard ``max(x, 0) - x*t + log(1 + exp(-|x|))`` formulation.
     """
     targets_t = Tensor(np.asarray(targets, dtype=np.float64))
-    zeros = Tensor(np.zeros_like(logits.data))
-    max_part = Tensor(np.maximum(logits.data, 0.0))
-    abs_part = Tensor(np.abs(logits.data))
-    # The pieces built directly from logits.data are constants w.r.t. the graph,
-    # so re-express them through differentiable ops for correct gradients:
-    # max(x, 0) = relu(x); |x| = relu(x) + relu(-x)
-    del zeros, max_part, abs_part
+    # max(x, 0) and |x| are expressed through differentiable ops so gradients
+    # flow: max(x, 0) = relu(x); |x| = relu(x) + relu(-x).
     relu_pos = logits.relu()
     relu_neg = (-logits).relu()
     softplus = ((-(relu_pos + relu_neg)).exp() + 1.0).log()

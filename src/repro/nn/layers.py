@@ -270,26 +270,33 @@ class _BatchNorm(Module):
         axes = self._reduce_axes(x)
         param_shape = self._shape_for(x)
         if self.training:
-            batch_mean = x.data.mean(axis=axes)
-            batch_var = x.data.var(axis=axes)
+            # Single-pass training forward: the batch statistics are computed
+            # once (through the normalization path) and their values feed the
+            # running-stat update.  (The seed path computed them twice —
+            # np.mean/np.var on .data for the buffers, then again through the
+            # graph for the normalization.)  The buffer update now sees the
+            # ``sum * (1/count)`` formulation instead of NumPy's
+            # ``sum / count`` — a deliberate ~1-ulp reassociation of the same
+            # reduction, pinned by tests/nn/test_layers.py; the normalized
+            # output is bitwise unchanged.
+            out, batch_mean, batch_var = F.batch_norm_train(
+                x, self.weight, self.bias, axes, param_shape, self.eps
+            )
             self._buffers["running_mean"][...] = (
-                (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * batch_mean
+                (1 - self.momentum) * self._buffers["running_mean"]
+                + self.momentum * batch_mean.reshape(self.num_features)
             )
             self._buffers["running_var"][...] = (
-                (1 - self.momentum) * self._buffers["running_var"] + self.momentum * batch_var
+                (1 - self.momentum) * self._buffers["running_var"]
+                + self.momentum * batch_var.reshape(self.num_features)
             )
-            mean = x.mean(axis=axes, keepdims=True)
-            centered = x - mean
-            var = (centered * centered).mean(axis=axes, keepdims=True)
-            inv_std = (var + self.eps) ** -0.5
-            normalized = centered * inv_std
-        else:
-            mean = self._buffers["running_mean"].reshape(param_shape)
-            var = self._buffers["running_var"].reshape(param_shape)
-            normalized = (x - Tensor(mean)) * Tensor(1.0 / np.sqrt(var + self.eps))
-        weight = self.weight.reshape(*param_shape)
-        bias = self.bias.reshape(*param_shape)
-        return normalized * weight + bias
+            return out
+        return F.batch_norm_eval(
+            x, self.weight, self.bias,
+            self._buffers["running_mean"].reshape(param_shape),
+            self._buffers["running_var"].reshape(param_shape),
+            param_shape, self.eps,
+        )
 
 
 class BatchNorm2d(_BatchNorm):

@@ -3,6 +3,24 @@
 Only first-order methods are needed by the paper's experiments: plain SGD with
 optional momentum and weight decay, which is what FedAvg-style local training
 uses, plus a proximal variant used by the FedProx baseline.
+
+Two bit-identical execution paths are provided:
+
+* **fused** (default) — parameters are flattened into a contiguous
+  :class:`~repro.nn.flat.FlatParams` arena and every step is a handful of
+  whole-vector NumPy ops (gather grads, one fused momentum/weight-decay/
+  proximal update, one axpy into the weights).  This removes the
+  per-parameter Python loop from the training hot path.
+* **reference** (``fused=False``) — the seed per-parameter loop, kept as the
+  golden implementation the fused path is tested against
+  (``tests/nn/test_optim.py`` asserts bitwise equality across momentum /
+  weight-decay / mu combinations).
+
+The fusion is exact because every update is element-wise: ``v = m*v + g`` and
+``w -= lr*u`` round identically whether applied per-parameter or over the
+concatenated vector.  Momentum state is keyed by *parameter index* (not
+``id(param)``, whose addresses the allocator may reuse after garbage
+collection, silently adopting another parameter's velocity).
 """
 
 from __future__ import annotations
@@ -11,6 +29,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from .flat import FlatParams
 from .layers import Parameter
 
 __all__ = ["Optimizer", "SGD", "ProximalSGD"]
@@ -36,7 +55,16 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum and weight decay."""
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    .. note::
+       Constructing a fused optimizer (``fused=True``, the default) flattens
+       the parameters into a contiguous arena: each ``param.data`` is rebound
+       to a view of the arena (values preserved, in-place update semantics
+       preserved).  Hold references to :class:`Parameter` objects — not to
+       their ``.data`` arrays — across optimizer construction; an array
+       reference captured beforehand stops tracking updates.
+    """
 
     def __init__(
         self,
@@ -44,6 +72,7 @@ class SGD(Optimizer):
         lr: float,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        fused: bool = True,
     ) -> None:
         super().__init__(params, lr)
         if not 0.0 <= momentum < 1.0:
@@ -52,21 +81,102 @@ class SGD(Optimizer):
             raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
         self.momentum = momentum
         self.weight_decay = weight_decay
+        self.fused = bool(fused)
+        # Reference-path momentum state, keyed by parameter index.
         self._velocity: Dict[int, np.ndarray] = {}
+        # Fused-path state: the arena and one flat velocity vector.
+        self._flat: Optional[FlatParams] = FlatParams.adopt(self.params) if self.fused else None
+        self._velocity_flat: Optional[np.ndarray] = None
 
+    # ------------------------------------------------------------------ #
+    # Per-parameter gradient adjustments (overridden by ProximalSGD).
+    # ------------------------------------------------------------------ #
+    def _adjusted_grad(self, index: int, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        """Reference-path hook: extra gradient terms applied *before* weight decay."""
+        del index, param
+        return grad
+
+    def _adjust_flat_grad(self, grad: np.ndarray) -> np.ndarray:
+        """Fused-path counterpart of :meth:`_adjusted_grad` over the flat vector."""
+        return grad
+
+    # ------------------------------------------------------------------ #
+    # Steps
+    # ------------------------------------------------------------------ #
     def step(self) -> None:
-        for param in self.params:
+        flat = self._flat
+        if flat is not None:
+            if not flat.is_valid():
+                # The parameters were re-flattened into a different arena
+                # after this optimizer was built (e.g. the training loop
+                # called FlatParams.from_module on the model).  Writing into
+                # the orphaned vector would silently update nothing, so
+                # re-adopt the parameters' current arena; the velocity layout
+                # (same params, same order) stays valid.
+                flat = self._flat = FlatParams.adopt(self.params)
+            grad, any_grad = flat.gather_grad()
+            if not any_grad:
+                return
+            if grad is not None:
+                self._flat_step(grad)
+            else:
+                # Some parameters have no gradient this step: preserve the
+                # reference "skip missing grads" semantics by updating only
+                # the covered arena segments (velocity stays a flat vector,
+                # so fused and partial steps can interleave freely).
+                self._partial_flat_step()
+            return
+        self._reference_step()
+
+    def _flat_step(self, grad: np.ndarray) -> None:
+        flat = self._flat
+        grad = self._adjust_flat_grad(grad)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * flat.vector
+        if self.momentum:
+            velocity = self._velocity_flat
+            if velocity is None:
+                velocity = self._velocity_flat = np.zeros(flat.size, dtype=np.float64)
+            velocity *= self.momentum
+            velocity += grad
+            update = velocity
+        else:
+            update = grad
+        flat.vector -= self.lr * update
+
+    def _partial_flat_step(self) -> None:
+        flat = self._flat
+        velocity_flat = self._velocity_flat
+        if self.momentum and velocity_flat is None:
+            velocity_flat = self._velocity_flat = np.zeros(flat.size, dtype=np.float64)
+        for index, param in enumerate(self.params):
             if param.grad is None:
                 continue
-            grad = param.grad
+            grad = self._adjusted_grad(index, param, param.grad)
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
-                velocity = self._velocity.get(id(param))
+                segment = velocity_flat[flat.grad_segment(index)].reshape(param.data.shape)
+                segment *= self.momentum
+                segment += grad
+                update = segment
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+    def _reference_step(self) -> None:
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = self._adjusted_grad(index, param, param.grad)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(index)
                 if velocity is None:
                     velocity = np.zeros_like(param.data)
                 velocity = self.momentum * velocity + grad
-                self._velocity[id(param)] = velocity
+                self._velocity[index] = velocity
                 update = velocity
             else:
                 update = grad
@@ -77,7 +187,11 @@ class ProximalSGD(SGD):
     """SGD with a FedProx proximal term pulling weights toward a reference point.
 
     The FedProx local objective is ``f(w) + (mu / 2) * ||w - w_global||^2``; its
-    gradient adds ``mu * (w - w_global)`` to every update.
+    gradient adds ``mu * (w - w_global)`` to every update.  The proximal term
+    is combined into the update *without* mutating ``param.grad`` — the stored
+    gradient stays exactly what ``backward()`` accumulated, so batch hooks and
+    any other post-step readers of ``.grad`` see the task gradient, not the
+    regularized one.
     """
 
     def __init__(
@@ -87,23 +201,38 @@ class ProximalSGD(SGD):
         mu: float,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        fused: bool = True,
     ) -> None:
-        super().__init__(params, lr, momentum=momentum, weight_decay=weight_decay)
+        super().__init__(params, lr, momentum=momentum, weight_decay=weight_decay, fused=fused)
         if mu < 0:
             raise ValueError(f"mu must be non-negative, got {mu}")
         self.mu = mu
         self._reference: Optional[List[np.ndarray]] = None
+        self._reference_flat: Optional[np.ndarray] = None
 
     def set_reference(self, reference: Iterable[np.ndarray]) -> None:
         """Record the global weights ``w_global`` for the proximal term."""
         self._reference = [np.asarray(r, dtype=np.float64).copy() for r in reference]
         if len(self._reference) != len(self.params):
             raise ValueError("reference length does not match parameter count")
+        for ref, param in zip(self._reference, self.params):
+            if ref.shape != param.data.shape:
+                raise ValueError(
+                    f"reference shape {ref.shape} does not match parameter "
+                    f"shape {param.data.shape}"
+                )
+        self._reference_flat = (
+            np.concatenate([ref.reshape(-1) for ref in self._reference])
+            if self._flat is not None
+            else None
+        )
 
-    def step(self) -> None:
+    def _adjusted_grad(self, index: int, param: Parameter, grad: np.ndarray) -> np.ndarray:
         if self.mu and self._reference is not None:
-            for param, ref in zip(self.params, self._reference):
-                if param.grad is None:
-                    continue
-                param.grad = param.grad + self.mu * (param.data - ref)
-        super().step()
+            return grad + self.mu * (param.data - self._reference[index])
+        return grad
+
+    def _adjust_flat_grad(self, grad: np.ndarray) -> np.ndarray:
+        if self.mu and self._reference_flat is not None:
+            return grad + self.mu * (self._flat.vector - self._reference_flat)
+        return grad

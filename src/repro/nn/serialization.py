@@ -16,14 +16,16 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..io import atomic_write
+from .engine import current_engine
 from .layers import Module
 
 __all__ = [
+    "StateLayout",
     "state_dict_to_vector",
     "vector_to_state_dict",
     "get_weights",
@@ -42,6 +44,64 @@ __all__ = [
 ]
 
 StateDict = Dict[str, np.ndarray]
+
+
+class StateLayout:
+    """Flat-vector layout of a state dict, preserving the template's key order.
+
+    Aggregation rules reduce many client state dicts; packing each dict into
+    one contiguous vector turns the per-key Python loops into whole-vector
+    NumPy ops.  The layout keeps the *insertion* order of the template's keys
+    (not sorted order): per-key reductions such as :func:`state_norm` sum
+    their per-key partials in iteration order, and replaying that exact order
+    segment-by-segment is what keeps flat reductions bitwise-identical to the
+    dict-based reference.
+    """
+
+    def __init__(self, template: StateDict) -> None:
+        self.keys = list(template)
+        self.shapes = [np.asarray(template[key]).shape for key in self.keys]
+        self._finalize()
+
+    @classmethod
+    def from_keys_shapes(cls, keys, shapes) -> "StateLayout":
+        """Build a layout directly from aligned key/shape sequences."""
+        layout = cls.__new__(cls)
+        layout.keys = list(keys)
+        layout.shapes = [tuple(shape) for shape in shapes]
+        layout._finalize()
+        return layout
+
+    def _finalize(self) -> None:
+        sizes = [int(np.prod(shape)) if shape else 1 for shape in self.shapes]
+        self.offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(int)
+        self.size = int(self.offsets[-1])
+        self._template = dict.fromkeys(self.keys)
+
+    def pack(self, state: StateDict, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Flatten ``state`` into one float64 vector in layout order."""
+        _check_keys(self._template, state)
+        if out is None:
+            out = np.empty(self.size, dtype=np.float64)
+        for key, start, end in zip(self.keys, self.offsets[:-1], self.offsets[1:]):
+            out[start:end] = np.asarray(state[key], dtype=np.float64).reshape(-1)
+        return out
+
+    def unpack(self, vector: np.ndarray) -> StateDict:
+        """Rebuild a state dict of views into ``vector`` (no copies)."""
+        if vector.size != self.size:
+            raise ValueError(f"vector length {vector.size} does not match layout size {self.size}")
+        return {
+            key: vector[start:end].reshape(shape)
+            for key, shape, start, end in zip(
+                self.keys, self.shapes, self.offsets[:-1], self.offsets[1:]
+            )
+        }
+
+    def segments(self, vector: np.ndarray):
+        """Iterate ``(key, flat_segment)`` pairs of ``vector`` in layout order."""
+        for key, start, end in zip(self.keys, self.offsets[:-1], self.offsets[1:]):
+            yield key, vector[start:end]
 
 
 def get_weights(model: Module) -> StateDict:
@@ -140,12 +200,26 @@ def average_states(states: Sequence[StateDict], weights: Iterable[float] | None 
         if total <= 0:
             raise ValueError("weights must sum to a positive value")
         weights_arr = weights_arr / total
-    result = zeros_like_state(states[0])
+    if current_engine() == "reference":
+        # Seed path: per-key accumulation, clients outermost.
+        result = zeros_like_state(states[0])
+        for weight, state in zip(weights_arr, states):
+            _check_keys(result, state)
+            for key in result:
+                result[key] += weight * state[key]
+        return result
+    # Flat reduction: pack each state once and accumulate client-by-client
+    # over the whole vector.  Element-for-element this is the same sequence of
+    # multiply-adds as the per-key reference loop (clients outermost, starting
+    # from zeros), so the average is bitwise-identical — just without
+    # ``n_clients * n_keys`` Python-level array ops.
+    layout = StateLayout(states[0])
+    accumulator = np.zeros(layout.size, dtype=np.float64)
+    buffer = np.empty(layout.size, dtype=np.float64)
     for weight, state in zip(weights_arr, states):
-        _check_keys(result, state)
-        for key in result:
-            result[key] += weight * state[key]
-    return result
+        layout.pack(state, out=buffer)
+        accumulator += weight * buffer
+    return layout.unpack(accumulator)
 
 
 def state_norm(state: StateDict) -> float:

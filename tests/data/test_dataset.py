@@ -183,3 +183,38 @@ class TestTrainTestSplit:
         ds = ArrayDataset(np.arange(10, dtype=float).reshape(10, 1), labels)
         train, _ = train_test_split(ds, test_fraction=0.9, seed=3)
         assert set(np.unique(train.labels)) == set(range(5))
+
+
+class TestSequentialLoaderViews:
+    """The shuffle=False loader yields read-only views: same values as the
+    seed's fancy-indexed copies, but in-place mutation fails loudly instead
+    of silently corrupting the dataset."""
+
+    def test_values_match_fancy_indexing(self):
+        rng = np.random.default_rng(0)
+        dataset = ArrayDataset(rng.normal(size=(10, 3)), np.arange(10))
+        batches = list(DataLoader(dataset, batch_size=4, shuffle=False))
+        offset = 0
+        for features, labels in batches:
+            np.testing.assert_array_equal(
+                features, dataset.features[np.arange(offset, offset + len(features))])
+            np.testing.assert_array_equal(
+                labels, dataset.labels[np.arange(offset, offset + len(labels))])
+            offset += len(features)
+        assert offset == 10
+
+    def test_batches_are_read_only(self):
+        dataset = ArrayDataset(np.zeros((6, 2)), np.zeros(6))
+        features, labels = next(iter(DataLoader(dataset, batch_size=3, shuffle=False)))
+        with pytest.raises(ValueError):
+            features[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            labels[0] = 1.0
+        # The dataset itself stays writable.
+        dataset.features[0, 0] = 1.0
+
+    def test_shuffled_batches_stay_writable_copies(self):
+        dataset = ArrayDataset(np.zeros((6, 2)), np.zeros(6))
+        features, _ = next(iter(DataLoader(dataset, batch_size=3, shuffle=True)))
+        features[0, 0] = 9.0
+        assert dataset.features[0, 0] == 0.0

@@ -1,0 +1,214 @@
+"""Tests for the contiguous flat-parameter arena (:mod:`repro.nn.flat`)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.flat import FlatParams, flat_arena_of
+from repro.nn.layers import Linear, Parameter, Sequential
+from repro.nn.models import SimpleMLP
+from repro.nn.serialization import states_equal
+from repro.nn.tensor import Tensor
+
+
+def small_model():
+    return SimpleMLP(6, 3, hidden=4, seed=0)
+
+
+class TestArenaConstruction:
+    def test_params_become_views_with_same_values(self):
+        model = small_model()
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        arena = FlatParams.from_module(model)
+        for name, param in model.named_parameters():
+            assert param.data.base is arena.vector
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_vector_is_contiguous_and_covers_all_params(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        assert arena.vector.flags.c_contiguous
+        assert arena.size == sum(p.size for p in model.parameters())
+
+    def test_views_alias_the_vector(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        arena.vector[:] = 7.0
+        for param in model.parameters():
+            assert (param.data == 7.0).all()
+
+    def test_in_place_param_update_hits_vector(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        first = model.parameters()[0]
+        first.data -= first.data  # zero it in place
+        assert (arena.vector[: first.size] == 0.0).all()
+
+    def test_from_module_caches(self):
+        model = small_model()
+        assert FlatParams.from_module(model) is FlatParams.from_module(model)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            FlatParams([])
+
+    def test_non_float64_rejected(self):
+        param = Parameter(np.zeros(3))
+        param.data = np.zeros(3, dtype=np.float32)
+        with pytest.raises(TypeError):
+            FlatParams([param])
+
+
+class TestAdopt:
+    def test_adopt_reuses_module_arena(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        assert FlatParams.adopt(model.parameters()) is arena
+
+    def test_adopt_builds_fresh_for_bare_params(self):
+        params = [Parameter(np.arange(3, dtype=float)), Parameter(np.ones((2, 2)))]
+        arena = FlatParams.adopt(params)
+        assert arena.size == 7
+        np.testing.assert_array_equal(arena.vector[:3], [0, 1, 2])
+
+    def test_adopt_rejects_stale_views(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        # Rebinding a parameter's data invalidates the arena...
+        model.fc1.weight.data = model.fc1.weight.data.copy()
+        assert not arena.is_valid()
+        # ...so adoption (and the module cache) build a fresh one.
+        assert FlatParams.adopt(model.parameters()) is not arena
+        assert FlatParams.from_module(model) is not arena
+
+    def test_adopt_subset_gets_own_arena(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        subset = model.parameters()[:2]
+        assert FlatParams.adopt(subset) is not arena
+
+
+class TestGatherGrad:
+    def test_no_grads_returns_none(self):
+        arena = FlatParams.adopt([Parameter(np.zeros(3))])
+        grad, complete = arena.gather_grad()
+        assert grad is None and not complete
+
+    def test_full_coverage(self):
+        params = [Parameter(np.zeros(2)), Parameter(np.zeros((2, 2)))]
+        arena = FlatParams.adopt(params)
+        params[0].grad = np.array([1.0, 2.0])
+        params[1].grad = np.arange(4.0).reshape(2, 2)
+        grad, complete = arena.gather_grad()
+        assert complete
+        np.testing.assert_array_equal(grad, [1, 2, 0, 1, 2, 3])
+
+    def test_partial_coverage_skips_the_copy(self):
+        params = [Parameter(np.zeros(2)), Parameter(np.zeros(2))]
+        arena = FlatParams.adopt(params)
+        params[0].grad = np.ones(2)
+        grad, any_grad = arena.gather_grad()
+        # Partial coverage: no buffer is filled (the caller falls back to the
+        # per-parameter path), but the presence flag is set.
+        assert grad is None and any_grad
+
+
+class TestStateDictBoundary:
+    def test_state_dict_matches_module(self):
+        model = small_model()
+        reference = model.state_dict()
+        arena = FlatParams.from_module(model)
+        assert states_equal(arena.state_dict(), reference)
+        assert list(arena.state_dict()) == list(reference)
+
+    def test_state_dict_param_entries_share_one_copy(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        state = arena.state_dict()
+        bases = {id(value.base) for name, value in state.items()
+                 if name in dict(model.named_parameters())}
+        assert len(bases) == 1
+        # The snapshot is detached from the live arena.
+        arena.vector[:] = -1.0
+        assert not (next(iter(state.values())) == -1.0).all()
+
+    def test_load_state_dict_round_trip(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        state = {key: np.full_like(value, 0.5) for key, value in model.state_dict().items()}
+        arena.load_state_dict(state)
+        assert states_equal(model.state_dict(), state)
+
+    def test_load_missing_key_raises(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        with pytest.raises(KeyError):
+            arena.load_state_dict({})
+
+    def test_load_shape_mismatch_raises(self):
+        model = small_model()
+        arena = FlatParams.from_module(model)
+        state = model.state_dict()
+        first = next(iter(state))
+        state[first] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            arena.load_state_dict(state)
+
+    def test_bare_arena_has_no_state_dict(self):
+        arena = FlatParams.adopt([Parameter(np.zeros(2))])
+        with pytest.raises(RuntimeError):
+            arena.state_dict()
+
+    def test_load_state_dict_updates_buffers(self):
+        from repro.nn.layers import BatchNorm1d
+
+        model = Sequential(Linear(4, 3, rng=np.random.default_rng(0)), BatchNorm1d(3))
+        arena = FlatParams.from_module(model)
+        state = model.state_dict()
+        state["layer1.running_mean"] = np.array([1.0, 2.0, 3.0])
+        arena.load_state_dict(state)
+        np.testing.assert_array_equal(
+            model.state_dict()["layer1.running_mean"], [1.0, 2.0, 3.0]
+        )
+
+
+class TestTrainingThroughArena:
+    def test_forward_backward_identical_to_unflattened(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 6))
+        y = rng.integers(0, 3, size=5)
+        from repro.nn import functional as F
+
+        plain = small_model()
+        flat = small_model()
+        FlatParams.from_module(flat)
+        for model in (plain, flat):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+        for p_plain, p_flat in zip(plain.parameters(), flat.parameters()):
+            assert p_plain.grad.tobytes() == p_flat.grad.tobytes()
+
+    def test_stale_arena_readopted_by_optimizer_step(self):
+        """Regression: an optimizer built before the training loop flattens
+        the model must not write updates into an orphaned arena."""
+        from repro.nn.optim import SGD
+
+        model = small_model()
+        opt = SGD(model.parameters(), lr=0.5, fused=True)  # anonymous arena
+        # The training loop re-flattens the model, invalidating opt's arena.
+        FlatParams.from_module(model)
+        assert not opt._flat.is_valid()
+        before = model.parameters()[0].data.copy()
+        for param in model.parameters():
+            param.grad = np.ones_like(param.data)
+        opt.step()
+        assert opt._flat.is_valid()
+        assert not np.array_equal(model.parameters()[0].data, before), \
+            "step wrote into the orphaned arena instead of the live weights"
+
+    def test_flat_arena_of(self):
+        model = small_model()
+        assert flat_arena_of(model) is None
+        arena = FlatParams.from_module(model)
+        assert flat_arena_of(model) is arena
+        model.fc1.weight.data = model.fc1.weight.data.copy()
+        assert flat_arena_of(model) is None

@@ -269,3 +269,160 @@ class TestLosses:
         pred = Tensor(np.array([[1.0, -2.0]]))
         loss = F.l1_loss(pred, np.array([[0.0, 0.0]]))
         assert float(loss.data) == pytest.approx(1.5, rel=1e-4)
+
+
+class TestEngineKernelEquivalence:
+    """The flat engine's fused kernels must match the operator-composed
+    reference bit-for-bit — forward values AND every gradient."""
+
+    @staticmethod
+    def _run_both(build):
+        """Run `build(mode)` under each engine; returns the two result tuples."""
+        from repro.nn.engine import engine_mode
+
+        results = {}
+        for mode in ("flat", "reference"):
+            with engine_mode(mode):
+                results[mode] = build()
+        return results["flat"], results["reference"]
+
+    @staticmethod
+    def _assert_bitwise(flat, reference):
+        for index, (a, b) in enumerate(zip(flat, reference)):
+            assert np.asarray(a).tobytes() == np.asarray(b).tobytes(), f"item {index}"
+
+    def test_linear_fused_bitwise(self):
+        rng = np.random.default_rng(0)
+        x_np, w_np, b_np = (rng.normal(size=(7, 5)), rng.normal(size=(4, 5)),
+                            rng.normal(size=4))
+        upstream = rng.normal(size=(7, 4))
+
+        def build():
+            from repro.nn.layers import Parameter
+
+            x = Tensor(x_np.copy(), requires_grad=True)
+            w, b = Parameter(w_np.copy()), Parameter(b_np.copy())
+            out = F.linear(x, w, b)
+            out.backward(upstream.copy())
+            return out.data, x.grad, w.grad, b.grad
+
+        self._assert_bitwise(*self._run_both(build))
+
+    def test_linear_without_bias_fused_bitwise(self):
+        rng = np.random.default_rng(1)
+        x_np, w_np = rng.normal(size=(3, 5)), rng.normal(size=(2, 5))
+
+        def build():
+            from repro.nn.layers import Parameter
+
+            x = Tensor(x_np.copy(), requires_grad=True)
+            w = Parameter(w_np.copy())
+            out = F.linear(x, w, None)
+            out.sum().backward()
+            return out.data, x.grad, w.grad
+
+        self._assert_bitwise(*self._run_both(build))
+
+    def test_cross_entropy_fused_bitwise(self):
+        rng = np.random.default_rng(2)
+        logits_np = rng.normal(scale=5.0, size=(9, 6))
+        targets = rng.integers(0, 6, size=9)
+
+        def build():
+            logits = Tensor(logits_np.copy(), requires_grad=True)
+            loss = F.cross_entropy(logits, targets)
+            loss.backward()
+            return np.asarray(loss.data), logits.grad
+
+        self._assert_bitwise(*self._run_both(build))
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 2)])
+    def test_conv2d_bincount_col2im_bitwise(self, stride, padding):
+        rng = np.random.default_rng(3)
+        x_np = rng.normal(size=(3, 4, 8, 8))
+        w_np = rng.normal(size=(5, 4, 3, 3))
+        b_np = rng.normal(size=5)
+
+        def build():
+            from repro.nn.layers import Parameter
+
+            x = Tensor(x_np.copy(), requires_grad=True)
+            w, b = Parameter(w_np.copy()), Parameter(b_np.copy())
+            out = F.conv2d(x, w, b, stride=stride, padding=padding)
+            out.sum().backward()
+            return out.data, x.grad, w.grad, b.grad
+
+        self._assert_bitwise(*self._run_both(build))
+
+    def test_depthwise_conv_bitwise(self):
+        rng = np.random.default_rng(4)
+        x_np = rng.normal(size=(2, 6, 10, 10))
+        w_np = rng.normal(size=(6, 1, 3, 3))
+
+        def build():
+            from repro.nn.layers import Parameter
+
+            x = Tensor(x_np.copy(), requires_grad=True)
+            w = Parameter(w_np.copy())
+            out = F.depthwise_conv2d(x, w, None, stride=2, padding=1)
+            out.sum().backward()
+            return out.data, x.grad, w.grad
+
+        self._assert_bitwise(*self._run_both(build))
+
+    def test_hardswish_fused_bitwise(self):
+        rng = np.random.default_rng(5)
+        x_np = rng.normal(scale=4.0, size=(16, 8))
+        upstream = rng.normal(size=(16, 8))
+
+        def build():
+            x = Tensor(x_np.copy(), requires_grad=True)
+            out = F.hardswish(x)
+            out.backward(upstream.copy())
+            return out.data, x.grad
+
+        self._assert_bitwise(*self._run_both(build))
+
+    def test_im2col_plan_is_cached_and_frozen(self):
+        from repro.nn.functional import _im2col_plan
+
+        plan_a = _im2col_plan((3, 8, 8), (3, 3), (1, 1), (1, 1))
+        plan_b = _im2col_plan((3, 8, 8), (3, 3), (1, 1), (1, 1))
+        assert plan_a[0] is plan_b[0]  # same cached arrays
+        with pytest.raises(ValueError):
+            plan_a[0][0] = 99  # read-only
+
+    def test_reference_engine_is_default_off(self):
+        from repro.nn.engine import current_engine
+
+        assert current_engine() == "flat"
+
+    def test_engine_mode_restores_previous(self):
+        from repro.nn.engine import current_engine, engine_mode
+
+        with engine_mode("reference"):
+            assert current_engine() == "reference"
+            with engine_mode("flat"):
+                assert current_engine() == "flat"
+            assert current_engine() == "reference"
+        assert current_engine() == "flat"
+
+    def test_engine_mode_rejects_unknown(self):
+        from repro.nn.engine import engine_mode
+
+        with pytest.raises(ValueError):
+            engine_mode("turbo")
+
+    def test_bce_gradients_still_flow(self):
+        """Regression: removing the dead zeros/max/abs tensors must not
+        change the BCE value or its gradient."""
+        rng = np.random.default_rng(6)
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        targets = rng.integers(0, 2, size=(5, 3)).astype(float)
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        loss.backward()
+        assert logits.grad is not None
+        # Stable formulation: matches the direct sigmoid-based gradient.
+        probs = 1.0 / (1.0 + np.exp(-logits.data))
+        np.testing.assert_allclose(logits.grad, (probs - targets) / logits.data.size,
+                                   atol=1e-12)

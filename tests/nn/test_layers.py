@@ -207,3 +207,78 @@ class TestIndividualLayers:
             loss.backward()
             opt.step()
         assert float(loss.data) < first_loss * 0.5
+
+
+class TestBatchNormSinglePass:
+    """Pins for the single-pass batch-norm forward.
+
+    The training forward computes the batch statistics once (through the
+    normalization path) and reuses them for the running-stat update.  The
+    normalized output is bitwise-identical to the seed's two-pass version;
+    the running stats see a ``sum * (1/count)`` mean instead of NumPy's
+    ``sum / count`` — the same reduction reassociated, pinned here to within
+    a few ulp of the np.mean/np.var formulation.
+    """
+
+    def test_running_stats_match_numpy_formulation_to_ulp(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 2.0, size=(8, 5, 4, 4))
+        bn = BatchNorm2d(5, momentum=1.0)  # running stats = batch stats
+        bn(Tensor(x))
+        np.testing.assert_allclose(
+            bn.state_dict()["running_mean"], x.mean(axis=(0, 2, 3)), rtol=1e-14
+        )
+        np.testing.assert_allclose(
+            bn.state_dict()["running_var"], x.var(axis=(0, 2, 3)), rtol=1e-13
+        )
+
+    def test_running_stats_are_the_graph_formulation_exactly(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 3, 5, 5))
+        bn = BatchNorm2d(3, momentum=1.0)
+        bn(Tensor(x))
+        count = x.shape[0] * x.shape[2] * x.shape[3]
+        mean = x.sum(axis=(0, 2, 3), keepdims=True) * (1.0 / count)
+        centered = x + (-mean)
+        var = (centered * centered).sum(axis=(0, 2, 3), keepdims=True) * (1.0 / count)
+        assert bn.state_dict()["running_mean"].tobytes() == mean.reshape(3).tobytes()
+        assert bn.state_dict()["running_var"].tobytes() == var.reshape(3).tobytes()
+
+    def test_normalized_output_bitwise_unchanged_vs_seed_graph(self):
+        """The seed's normalization graph (independent of its running-stat
+        pass) must produce the same bits as the single-pass forward."""
+        rng = np.random.default_rng(2)
+        x_np = rng.normal(1.0, 3.0, size=(8, 4, 3, 3))
+        bn = BatchNorm2d(4)
+        out = bn(Tensor(x_np)).data
+
+        x = Tensor(x_np.copy())
+        axes, shape = (0, 2, 3), (1, 4, 1, 1)
+        mean = x.mean(axis=axes, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=axes, keepdims=True)
+        inv_std = (var + bn.eps) ** -0.5
+        seed_out = ((centered * inv_std) * bn.weight.reshape(*shape)
+                    + bn.bias.reshape(*shape)).data
+        assert out.tobytes() == seed_out.tobytes()
+
+    def test_train_and_eval_bitwise_across_engines(self):
+        from repro.nn.engine import engine_mode
+
+        rng = np.random.default_rng(3)
+        x_np = rng.normal(2.0, 1.5, size=(6, 4, 4, 4))
+        upstream = rng.normal(size=(6, 4, 4, 4))
+        results = {}
+        for mode in ("flat", "reference"):
+            with engine_mode(mode):
+                bn = BatchNorm2d(4)
+                x = Tensor(x_np.copy(), requires_grad=True)
+                out = bn(x)
+                out.backward(upstream.copy())
+                state = bn.state_dict()
+                bn.eval()
+                eval_out = bn(Tensor(x_np.copy())).data
+                results[mode] = (out.data, x.grad, bn.weight.grad, bn.bias.grad,
+                                 state["running_mean"], state["running_var"], eval_out)
+        for index, (a, b) in enumerate(zip(results["flat"], results["reference"])):
+            assert a.tobytes() == b.tobytes(), f"item {index}"
