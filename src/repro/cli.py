@@ -32,6 +32,7 @@ import time
 from typing import List, Optional, Sequence
 
 from . import __version__
+from .devices.latency import LATENCY_REGIMES
 from .eval.experiments import EXPERIMENTS, run_experiment
 from .eval.reporting import write_report
 from .eval.results import ExperimentResult, format_table
@@ -41,6 +42,7 @@ from .runtime import (
     DATASET_REGISTRY,
     EXECUTOR_REGISTRY,
     MODEL_REGISTRY,
+    RUN_KINDS,
     SAMPLER_REGISTRY,
     STRATEGY_REGISTRY,
     Runner,
@@ -136,6 +138,8 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     """Flags shared by ``bench`` and ``sweep`` for building/overriding a spec."""
     parser.add_argument("--spec", default=None,
                         help="path to a RunSpec JSON file (default: a fresh spec)")
+    parser.add_argument("--kind", default=None, choices=sorted(RUN_KINDS),
+                        help="run kind (federated, federated_async, centralized)")
     parser.add_argument("--strategy", default=None, choices=sorted(STRATEGY_REGISTRY))
     parser.add_argument("--dataset", default=None, choices=sorted(DATASET_REGISTRY))
     parser.add_argument("--model", default=None, choices=sorted(MODEL_REGISTRY))
@@ -150,6 +154,13 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                              "only wall clock changes)")
     parser.add_argument("--workers", type=int, default=None,
                         help="max parallel client workers (default: one per CPU core)")
+    parser.add_argument("--latency-regime", default=None,
+                        choices=sorted(LATENCY_REGIMES),
+                        help="device latency/churn regime for asynchronous runs "
+                             "(kind=federated_async; default: mild)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="max simultaneously training clients in asynchronous "
+                             "runs (default: the config's clients_per_round)")
     parser.add_argument("--capture-cache", default=None, metavar="DIR",
                         help="persistent capture-cache directory: device captures "
                              "are stored on first build and reloaded bitwise-"
@@ -203,11 +214,14 @@ def _build_spec(args: argparse.Namespace) -> RunSpec:
 
 def _apply_spec_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
     overrides = {}
-    for attribute in ("strategy", "dataset", "model", "sampler", "scale", "seeds",
-                      "executor"):
+    for attribute in ("kind", "strategy", "dataset", "model", "sampler", "scale",
+                      "seeds", "executor", "concurrency"):
         value = getattr(args, attribute)
         if value is not None:
             overrides[attribute] = value
+    if args.latency_regime is not None:
+        overrides["latency_kwargs"] = {**spec.latency_kwargs,
+                                       "regime": args.latency_regime}
     if args.workers is not None:
         if (args.executor or spec.executor) == "serial":
             raise ValueError(
@@ -263,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {experiment_id:<8s} {description}")
         for kind, registry in _REGISTRIES.items():
             print(f"{kind}: {', '.join(registry.available())}")
+        print(f"run kinds: {', '.join(RUN_KINDS)}")
+        print(f"latency regimes: {', '.join(LATENCY_REGIMES)}")
         return 0
 
     if args.command == "run":
@@ -394,6 +410,16 @@ def _runs_command(args: argparse.Namespace) -> int:
             print(f"error: {_message(exc)}", file=sys.stderr)
             return 2
         print(f"fingerprint: {result['fingerprint']}")
+        history = result.get("history", {})
+        if history.get("kind") == "federated_async":
+            meta = history.get("metadata", {})
+            print(f"simulated clock: {meta.get('virtual_hours', 0.0):.3f} h "
+                  f"({meta.get('virtual_seconds', 0.0):.1f} s virtual)")
+            print(f"commits: {meta.get('num_commits', '?')}  "
+                  f"updates: {meta.get('num_updates', '?')}  "
+                  f"lost: {meta.get('updates_lost', '?')}")
+            print(f"staleness: mean {meta.get('mean_staleness', 0.0):.2f}, "
+                  f"max {meta.get('max_staleness', 0)}")
         print(format_table(["device", "metric"],
                            sorted(result["metrics"].items())))
     return 0

@@ -162,7 +162,8 @@ def devices_by_vendor(vendor: str) -> List[DeviceProfile]:
     """All profiles from one vendor ('samsung', 'lg' or 'google')."""
     matches = [p for p in DEVICE_PROFILES.values() if p.vendor == vendor]
     if not matches:
-        raise KeyError(f"unknown vendor '{vendor}'")
+        vendors = sorted({p.vendor for p in DEVICE_PROFILES.values()})
+        raise KeyError(f"unknown vendor '{vendor}'; available: {vendors}")
     return matches
 
 
@@ -170,7 +171,8 @@ def devices_by_tier(tier: str) -> List[DeviceProfile]:
     """All profiles in one performance tier ('high', 'mid' or 'low')."""
     matches = [p for p in DEVICE_PROFILES.values() if p.tier == tier]
     if not matches:
-        raise KeyError(f"unknown tier '{tier}'")
+        tiers = sorted({p.tier for p in DEVICE_PROFILES.values()})
+        raise KeyError(f"unknown tier '{tier}'; available: {tiers}")
     return matches
 
 
@@ -179,5 +181,10 @@ def market_shares(normalize: bool = True) -> Dict[str, float]:
     shares = {name: profile.market_share for name, profile in DEVICE_PROFILES.items()}
     if normalize:
         total = sum(shares.values())
+        if total <= 0.0:
+            raise ValueError(
+                f"cannot normalize market shares: total share is {total} "
+                f"across {len(shares)} device(s)"
+            )
         shares = {name: share / total for name, share in shares.items()}
     return shares

@@ -1,0 +1,162 @@
+"""Asynchronous vs synchronous FL on the Table 4 workload.
+
+* :func:`async_vs_sync` — accuracy and simulated wall-clock for FedAsync and
+  FedBuff against the synchronous FedAvg reference, under two or more device
+  latency/availability regimes.
+
+The comparison holds the *update budget* fixed: synchronous FedAvg trains
+``num_rounds x clients_per_round`` client updates, so FedAsync targets that
+many commits (one update each) and FedBuff targets ``num_rounds`` commits of
+``clients_per_round``-sized buffers.  Accuracy is therefore comparable while
+the simulated clock exposes the straggler cost of the synchronous barrier.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..devices.latency import build_latency_model, get_regime
+from ..devices.profiles import DEVICE_NAMES, market_shares
+from ..fl.metrics import accuracy_variance, mean_value, worst_case
+from .results import ExperimentResult
+from .scale import get_scale
+
+__all__ = ["async_vs_sync", "estimate_sync_virtual_seconds"]
+
+
+def estimate_sync_virtual_seconds(
+    num_rounds: int,
+    clients_per_round: int,
+    samples_per_client: int,
+    regime: str = "mild",
+    devices: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> float:
+    """Idealised simulated wall-clock of synchronous FedAvg.
+
+    A synchronous round is gated by its slowest participant: each round draws
+    ``clients_per_round`` devices from the Table 1 market shares and advances
+    the clock by the maximum sampled round-trip under the same
+    :class:`~repro.devices.latency.DeviceLatencyModel` population the
+    asynchronous simulation uses.  Availability churn is ignored (the
+    idealised server waits out every straggler rather than losing it), so the
+    estimate is a *lower bound* on the synchronous wall-clock.
+    """
+    if num_rounds <= 0 or clients_per_round <= 0:
+        raise ValueError("num_rounds and clients_per_round must be positive")
+    regime_obj = get_regime(regime)
+    device_names = list(devices) if devices else list(DEVICE_NAMES)
+    shares = market_shares()
+    probs = np.array([shares.get(name, 0.0) for name in device_names])
+    if probs.sum() <= 0:
+        probs = np.full(len(device_names), 1.0 / len(device_names))
+    probs = probs / probs.sum()
+    models = [build_latency_model(name, regime_obj) for name in device_names]
+    rng = np.random.default_rng([seed, zlib.crc32(regime_obj.name.encode())])
+    total = 0.0
+    for _ in range(num_rounds):
+        picked = rng.choice(len(device_names), size=clients_per_round, p=probs)
+        total += max(models[i].sample_round_trip(samples_per_client, rng)
+                     for i in picked)
+    return float(total)
+
+
+def async_vs_sync(
+    scale: "str | object" = "smoke",
+    regimes: Sequence[str] = ("mild", "extreme"),
+    methods: Sequence[str] = ("fedasync", "fedbuff"),
+    devices: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Accuracy + simulated time: FedAsync/FedBuff vs synchronous FedAvg.
+
+    One synchronous FedAvg reference run (its accuracy is latency-independent)
+    plus one asynchronous run per (method, regime) cell, all on the Table 4
+    device-capture workload with market-share clients.  Every cell consumes
+    the same number of client updates; see the module docstring.
+    """
+    from ..runtime import Runner, RunSpec, spec_scale  # late: runtime imports repro.eval
+
+    scale_arg = spec_scale(scale)
+    scale = get_scale(scale)
+    device_names = list(devices) if devices else list(DEVICE_NAMES)
+    runner = Runner()
+    num_rounds = scale.num_rounds
+    cohort = min(scale.clients_per_round, scale.num_clients)
+    update_budget = num_rounds * cohort
+    # Mean client dataset size: one capture set per device, partitioned
+    # market-share-weighted across the client population.
+    samples_per_client = max(1, (scale.samples_per_class_train * scale.num_classes
+                                 * len(device_names)) // scale.num_clients)
+
+    headers = ["regime", "method", "worst_case_accuracy", "average_accuracy",
+               "variance", "virtual_hours", "commits", "updates",
+               "mean_staleness"]
+    rows: List[List[object]] = []
+    scalars: Dict[str, float] = {}
+
+    sync_spec = RunSpec(name="async/fedavg", strategy="fedavg",
+                        dataset="device_capture",
+                        dataset_kwargs={"devices": device_names},
+                        scale=scale_arg, seeds=[seed])
+    sync_metrics = runner.run(sync_spec).history.per_device_metric
+    sync_row = (worst_case(sync_metrics), mean_value(sync_metrics),
+                accuracy_variance(sync_metrics))
+    scalars["fedavg_worst_case"], scalars["fedavg_average"], _ = sync_row
+
+    for regime in regimes:
+        sync_hours = estimate_sync_virtual_seconds(
+            num_rounds, cohort, samples_per_client, regime=regime,
+            devices=device_names, seed=seed) / 3600.0
+        rows.append([regime, "fedavg (sync)", *sync_row, sync_hours,
+                     num_rounds, update_budget, 0.0])
+        scalars[f"{regime}_fedavg_virtual_hours"] = sync_hours
+
+        for method in methods:
+            overrides: Dict[str, object] = {}
+            strategy_kwargs: Dict[str, object] = {}
+            if method == "fedasync":
+                # One update per commit: match the sync update budget.
+                overrides["num_rounds"] = update_budget
+            elif method == "fedbuff":
+                strategy_kwargs["buffer_size"] = cohort
+            spec = RunSpec(
+                name=f"async/{method}/{regime}",
+                kind="federated_async",
+                strategy=method,
+                strategy_kwargs=strategy_kwargs,
+                dataset="device_capture",
+                dataset_kwargs={"devices": device_names},
+                scale=scale_arg,
+                config_overrides=overrides,
+                latency_kwargs={"regime": regime},
+                concurrency=cohort,
+                seeds=[seed],
+            )
+            history = runner.run(spec).history
+            metrics = history.per_device_metric
+            meta = history.metadata
+            rows.append([regime, method, worst_case(metrics),
+                         mean_value(metrics), accuracy_variance(metrics),
+                         meta["virtual_hours"], meta["num_commits"],
+                         meta["num_updates"], meta["mean_staleness"]])
+            scalars[f"{regime}_{method}_worst_case"] = worst_case(metrics)
+            scalars[f"{regime}_{method}_average"] = mean_value(metrics)
+            scalars[f"{regime}_{method}_virtual_hours"] = float(meta["virtual_hours"])
+            scalars[f"{regime}_{method}_mean_staleness"] = float(meta["mean_staleness"])
+            scalars[f"{regime}_{method}_updates"] = float(meta["num_updates"])
+
+    return ExperimentResult(
+        experiment_id="async",
+        description="Asynchronous FL (FedAsync/FedBuff) vs synchronous FedAvg: "
+                    "accuracy and simulated wall-clock under latency regimes",
+        headers=headers,
+        rows=rows,
+        scalars=scalars,
+        metadata={"scale": scale.name, "regimes": list(regimes),
+                  "update_budget": update_budget,
+                  "samples_per_client": samples_per_client},
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from .async_eval import async_vs_sync
 from .characterization import (
     fig1_homo_vs_hetero,
     fig2_raw_degradation,
@@ -45,6 +46,7 @@ __all__ = [
     "fig8_synthetic_cifar",
     "ecg_heart_rate",
     "fig9_hyperparameter_sensitivity",
+    "async_vs_sync",
 ]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -61,6 +63,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8_synthetic_cifar,
     "ecg": ecg_heart_rate,
     "fig9": fig9_hyperparameter_sensitivity,
+    "async": async_vs_sync,
 }
 
 

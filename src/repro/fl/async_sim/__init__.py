@@ -1,0 +1,47 @@
+"""Event-driven asynchronous FL: simulated clock, staleness, churn.
+
+The synchronous loop of :mod:`repro.fl.simulation` models communication
+rounds; this subsystem models *time*.  A deterministic event queue
+(:mod:`~repro.fl.async_sim.events`) advances a virtual clock through client
+dispatch, completion, dropout and rejoin events whose timings come from
+per-device latency/availability models (:mod:`repro.devices.latency`), and
+staleness-aware strategies (:mod:`~repro.fl.async_sim.strategies`) fold each
+update into the global model as it arrives.
+
+Entry points: :class:`AsyncFederatedSimulation` directly, or
+``RunSpec(kind="federated_async", strategy="fedasync"|"fedbuff", ...)``
+through the runner/CLI.
+"""
+
+from .events import EVENT_KINDS, EventQueue, SimEvent, event_rng
+from .simulation import (
+    AsyncFederatedSimulation,
+    AsyncFLHistory,
+    AsyncTelemetry,
+    CommitRecord,
+)
+from .strategies import (
+    AsyncCommit,
+    AsyncStrategy,
+    AsyncUpdate,
+    FedAsync,
+    FedBuff,
+    polynomial_staleness,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "SimEvent",
+    "EventQueue",
+    "event_rng",
+    "CommitRecord",
+    "AsyncFLHistory",
+    "AsyncFederatedSimulation",
+    "AsyncTelemetry",
+    "AsyncUpdate",
+    "AsyncCommit",
+    "AsyncStrategy",
+    "FedAsync",
+    "FedBuff",
+    "polynomial_staleness",
+]

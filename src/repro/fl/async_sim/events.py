@@ -1,0 +1,195 @@
+"""Deterministic simulated-clock event queue for asynchronous FL.
+
+The virtual clock is a heap of timestamped :class:`SimEvent`\\ s.  Nothing in
+the subsystem ever reads wall-clock time: event timestamps come from the
+seeded latency models of :mod:`repro.devices.latency`, and ties are broken by
+a *seeded* tiebreak drawn when the event is pushed, then by insertion order —
+so the pop order is a pure function of the run seed, independent of host
+speed, executor backend, or scheduling.
+
+Randomness streams follow the ``derive_client_seed`` discipline of
+:mod:`repro.fl.execution`: every draw comes from a fresh generator seeded by
+``(stream tag, run seed, identity indices)`` via :func:`event_rng`, never
+from a shared stateful generator, so any event's randomness is a pure
+function of *what* it is, not of how many draws happened before it.
+
+The queue serializes to a checkpointable tree (:meth:`EventQueue.state_dict`)
+with timestamps and tiebreaks preserved bit-exactly, which is what makes
+mid-queue checkpoint/resume reproduce the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "EVENT_KINDS",
+    "SimEvent",
+    "EventQueue",
+    "event_rng",
+]
+
+# The two event kinds the simulation schedules.  Dispatch is not an event:
+# clients are (re)dispatched immediately whenever capacity frees up, so only
+# things that *take virtual time* live on the queue.
+EVENT_KINDS = ("completion", "toggle")
+
+# Stream tags namespace the per-purpose RNG streams (see event_rng).
+_STREAMS = {
+    "latency": 1,       # round-trip duration of one dispatched update
+    "availability": 2,  # on/off session lengths
+    "init": 3,          # initial online/offline draw
+    "dispatch": 4,      # which idle client to dispatch next
+    "tiebreak": 5,      # heap tie-breaking
+}
+
+
+def event_rng(seed: int, stream: str, *indices: int) -> np.random.Generator:
+    """A fresh generator on a named per-identity stream.
+
+    ``indices`` identify the draw (client id, event counter, ...).  Sequence
+    seeding keeps streams collision-free across tags and disjoint from the
+    scalar ``derive_client_seed`` streams used for local training.
+    """
+    return np.random.default_rng([_STREAMS[stream], seed, *indices])
+
+
+@dataclass
+class SimEvent:
+    """One timestamped occurrence on the virtual clock.
+
+    ``job_id`` identifies the dispatched update for ``completion`` events and
+    is ``-1`` for ``toggle`` events.  ``tiebreak`` is assigned by the queue at
+    push time (seeded) unless the event already carries one (restore path).
+    """
+
+    time: float
+    kind: str
+    client_id: int
+    job_id: int = -1
+    tiebreak: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}, got '{self.kind}'")
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (floats round-trip exactly)."""
+        return {
+            "time": float(self.time),
+            "kind": self.kind,
+            "client_id": int(self.client_id),
+            "job_id": int(self.job_id),
+            "tiebreak": None if self.tiebreak is None else float(self.tiebreak),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimEvent":
+        """Inverse of :meth:`to_dict`."""
+        tiebreak = data.get("tiebreak")
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            client_id=int(data["client_id"]),
+            job_id=int(data.get("job_id", -1)),
+            tiebreak=None if tiebreak is None else float(tiebreak),
+        )
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    """Heap ordering: (time, seeded tiebreak, insertion sequence)."""
+
+    time: float
+    tiebreak: float
+    seq: int
+    event: SimEvent = field(compare=False)
+
+
+class EventQueue:
+    """Seeded priority queue of :class:`SimEvent`\\ s.
+
+    Two events at the same timestamp pop in an order decided by their seeded
+    tiebreak draws (then by insertion order as a last resort), so ties are
+    resolved reproducibly but without structural bias toward, say, lower
+    client ids.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0        # insertion counter (final tie level)
+        self._pushed = 0     # tiebreak stream counter
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: SimEvent) -> SimEvent:
+        """Schedule an event; assigns its seeded tiebreak if it has none."""
+        if event.tiebreak is None:
+            rng = event_rng(self.seed, "tiebreak", self._pushed)
+            event.tiebreak = float(rng.random())
+        self._pushed += 1
+        heapq.heappush(
+            self._heap,
+            _HeapEntry(float(event.time), float(event.tiebreak), self._seq, event),
+        )
+        self._seq += 1
+        return event
+
+    def pop(self) -> SimEvent:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap).event
+
+    def peek(self) -> SimEvent:
+        """The earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek at an empty event queue")
+        return self._heap[0].event
+
+    # -- checkpoint / resume ------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpointable rendering: pending events + counters.
+
+        Events keep their assigned tiebreaks and the entries keep their
+        insertion sequence numbers, so the restored heap pops in exactly the
+        order the live one would have.
+        """
+        return {
+            "seed": self.seed,
+            "seq": self._seq,
+            "pushed": self._pushed,
+            "events": [
+                {"seq": entry.seq, **entry.event.to_dict()}
+                for entry in sorted(self._heap)
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "EventQueue":
+        """Rebuild a queue from :meth:`state_dict`."""
+        queue = cls(int(state["seed"]))
+        for item in state["events"]:
+            event = SimEvent.from_dict(item)
+            heapq.heappush(
+                queue._heap,
+                _HeapEntry(event.time, float(event.tiebreak), int(item["seq"]), event),
+            )
+        queue._seq = int(state["seq"])
+        queue._pushed = int(state["pushed"])
+        return queue
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = f", next={self._heap[0].event.kind}@{self._heap[0].time:.1f}" if self._heap else ""
+        return f"EventQueue(len={len(self._heap)}{head})"

@@ -60,6 +60,16 @@ class Callback:
                      results: List[ClientResult]) -> None:
         """Called after aggregation, with the round's record and client results."""
 
+    def on_event(self, sim, info: Dict[str, object]) -> None:
+        """Called by the asynchronous loop for every virtual-clock occurrence.
+
+        ``info`` always carries ``kind`` (``dispatch``/``completion``/
+        ``lost``/``dropout``/``rejoin``/``commit``) and ``time`` (virtual
+        seconds); event-specific keys (``client_id``, ``job_id``,
+        ``staleness``, ``version``...) ride along.  Synchronous runs never
+        fire this hook.
+        """
+
     def on_evaluate(self, sim: "FederatedSimulation", round_index: int,
                     metrics: Dict[str, float]) -> None:
         """Called whenever the global model is evaluated on the test sets."""
@@ -91,6 +101,10 @@ class CallbackList(Callback):
     def on_round_end(self, sim, record, results) -> None:
         for callback in self.callbacks:
             callback.on_round_end(sim, record, results)
+
+    def on_event(self, sim, info) -> None:
+        for callback in self.callbacks:
+            callback.on_event(sim, info)
 
     def on_evaluate(self, sim, round_index, metrics) -> None:
         for callback in self.callbacks:
@@ -270,12 +284,24 @@ class CheckpointCallback(Callback):
         self._write(sim, "final.npz")
 
 
+def _async_telemetry_factory(**kwargs) -> Callback:
+    """Lazily resolve :class:`~repro.fl.async_sim.AsyncTelemetry`.
+
+    The async subsystem imports this module; registering its telemetry
+    callback through a deferred factory keeps the dependency one-way.
+    """
+    from .async_sim.simulation import AsyncTelemetry
+
+    return AsyncTelemetry(**kwargs)
+
+
 CALLBACK_REGISTRY: Registry[Callback] = Registry("callback", {
     "switch_telemetry": SwitchTelemetry,
     "eval_every": PeriodicEvaluation,
     "early_stopping": EarlyStopping,
     "round_logger": RoundLogger,
     "checkpoint": CheckpointCallback,
+    "async_telemetry": _async_telemetry_factory,
 })
 
 

@@ -9,7 +9,7 @@ debugging, audit) selects exactly the clients the full run selected.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,7 @@ __all__ = [
     "ClientSampler",
     "UniformSampler",
     "RoundRobinSampler",
+    "WeightedSampler",
     "SAMPLER_REGISTRY",
     "create_sampler",
 ]
@@ -28,6 +29,14 @@ class ClientSampler:
     """Interface: pick the indices of this round's participating clients."""
 
     name = "sampler"
+
+    def bind(self, clients: Sequence) -> None:
+        """Observe the client population before the first round.
+
+        The simulation calls this once with its ``ClientSpec`` list; samplers
+        that weight clients by device properties derive their per-client
+        weights here.  The default is a no-op.
+        """
 
     def select(self, num_clients: int, k: int, round_index: int, seed: int) -> List[int]:
         """Return ``k`` distinct client indices for ``round_index``."""
@@ -67,9 +76,103 @@ class RoundRobinSampler(ClientSampler):
         return [(start + offset) % num_clients for offset in range(k)]
 
 
+class WeightedSampler(ClientSampler):
+    """Weighted sampling without replacement, seeded per ``(seed, round)``.
+
+    Client weights come from the device each client simulates:
+
+    * ``weight_by="market_share"`` — Table 1 market shares, so dominant
+      devices (S6/S9) participate proportionally more often, matching the
+      paper's observation that participation follows the install base;
+    * ``weight_by="availability"`` — the latency model's on-fraction for
+      ``regime``, so low-tier devices with poor duty cycles are sampled less
+      (the cross-device availability skew of real fleets);
+    * explicit ``weights`` (one non-negative number per client) bypass the
+      device lookup entirely.
+
+    ``smoothing`` is an additive floor (a fraction of the mean weight) so no
+    client is starved completely.  Draws are a pure function of ``(seed,
+    round_index)``: replaying any round reproduces its participant set.
+    """
+
+    name = "weighted"
+
+    _WEIGHT_MODES = ("market_share", "availability")
+
+    def __init__(self, weight_by: str = "market_share", regime: str = "mild",
+                 smoothing: float = 0.05,
+                 weights: Optional[Sequence[float]] = None) -> None:
+        if weight_by not in self._WEIGHT_MODES:
+            raise ValueError(
+                f"weight_by must be one of {self._WEIGHT_MODES}, got '{weight_by}'"
+            )
+        if smoothing < 0.0:
+            raise ValueError("smoothing must be non-negative")
+        self.weight_by = weight_by
+        self.regime = regime
+        self.smoothing = float(smoothing)
+        self._weights: Optional[np.ndarray] = None
+        if weights is not None:
+            self._set_weights(np.asarray(list(weights), dtype=np.float64))
+
+    def _set_weights(self, weights: np.ndarray) -> None:
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        if self.smoothing > 0.0:
+            mean = weights.mean() if weights.any() else 1.0
+            weights = weights + self.smoothing * mean
+        total = weights.sum()
+        if total <= 0.0:
+            raise ValueError("weights must sum to a positive total")
+        self._weights = weights / total
+
+    def bind(self, clients: Sequence) -> None:
+        if self._weights is not None:  # explicit weights win over device lookup
+            return
+        # Local import: repro.devices is independent of the FL layer.
+        from ..devices.latency import build_latency_model, get_regime
+        from ..devices.profiles import market_shares
+
+        devices = [getattr(spec, "device", None) for spec in clients]
+        if self.weight_by == "market_share":
+            shares = market_shares(normalize=True)
+            fallback = 1.0 / len(shares)
+            values = [shares.get(device, fallback) for device in devices]
+        else:
+            regime = get_regime(self.regime)
+            values = [build_latency_model(device or "client", regime).on_fraction
+                      for device in devices]
+        self._set_weights(np.asarray(values, dtype=np.float64))
+
+    def select(self, num_clients: int, k: int, round_index: int, seed: int) -> List[int]:
+        self._validate(num_clients, k)
+        if self._weights is None:
+            raise ValueError(
+                "WeightedSampler has no weights; pass weights= explicitly or "
+                "let the simulation bind() it to a client population first"
+            )
+        if len(self._weights) != num_clients:
+            raise ValueError(
+                f"weights cover {len(self._weights)} clients, "
+                f"population has {num_clients}"
+            )
+        if np.count_nonzero(self._weights) < k:
+            raise ValueError(
+                f"cannot sample {k} clients: only "
+                f"{np.count_nonzero(self._weights)} have non-zero weight "
+                f"(raise smoothing)"
+            )
+        rng = np.random.default_rng([seed, round_index])
+        indices = rng.choice(num_clients, size=k, replace=False, p=self._weights)
+        return [int(i) for i in indices]
+
+
 SAMPLER_REGISTRY: Registry[ClientSampler] = Registry("sampler", {
     "uniform": UniformSampler,
     "round_robin": RoundRobinSampler,
+    "weighted": WeightedSampler,
 })
 
 

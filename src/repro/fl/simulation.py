@@ -41,7 +41,7 @@ from .sampling import ClientSampler, UniformSampler
 from .strategies.base import FLContext, Strategy
 from .training import ClientResult, evaluate_metric
 
-__all__ = ["RoundRecord", "FLHistory", "FederatedSimulation"]
+__all__ = ["RoundRecord", "FLHistory", "FederatedSimulation", "history_from_dict"]
 
 StateDict = Dict[str, np.ndarray]
 ModelFactory = Callable[[], Module]
@@ -122,6 +122,22 @@ class FLHistory:
         )
 
 
+def history_from_dict(data: Dict[str, object]) -> "FLHistory":
+    """Reconstruct a serialized history, dispatching on its ``kind`` marker.
+
+    Asynchronous runs serialize their histories with ``kind:
+    "federated_async"`` (their rounds are
+    :class:`~repro.fl.async_sim.simulation.CommitRecord`\\ s); everything else
+    is a plain :class:`FLHistory`.  The run store and runner use this instead
+    of :meth:`FLHistory.from_dict` so resume reconstructs the right class.
+    """
+    if data.get("kind") == "federated_async":
+        from .async_sim.simulation import AsyncFLHistory
+
+        return AsyncFLHistory.from_dict(data)
+    return FLHistory.from_dict(data)
+
+
 class FederatedSimulation:
     """Orchestrates a full FL run for a given strategy.
 
@@ -175,12 +191,18 @@ class FederatedSimulation:
                 f"config.num_clients ({config.num_clients}) does not match the "
                 f"provided client population ({len(clients)})"
             )
+        if getattr(strategy, "requires_async", False):
+            raise ValueError(
+                f"strategy '{strategy.name}' is asynchronous-only; run it with "
+                f"AsyncFederatedSimulation (RunSpec kind='federated_async')"
+            )
         self.model_fn = model_fn
         self.clients = list(clients)
         self.test_sets = dict(test_sets)
         self.strategy = strategy
         self.config = config
         self.sampler = sampler if sampler is not None else UniformSampler()
+        self.sampler.bind(self.clients)
         self.callbacks = list(callbacks)
         if executor is None or isinstance(executor, str):
             self._executor = create_executor(executor or "serial")

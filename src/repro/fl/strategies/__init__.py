@@ -28,10 +28,17 @@ __all__ = [
     "ISPTransformOnly",
     "ISPTransformWithSWAD",
     "STRATEGY_REGISTRY",
+    "ASYNC_STRATEGY_NAMES",
     "create_strategy",
 ]
 
 _CORE_STRATEGIES = ("HeteroSwitch", "ISPTransformOnly", "ISPTransformWithSWAD")
+
+# Asynchronous-only strategies (repro.fl.async_sim): they have no round-based
+# ``aggregate`` and run only under RunSpec kind="federated_async".  Named here
+# (next to their registration) so spec validation can reject mismatched kinds
+# without instantiating anything.
+ASYNC_STRATEGY_NAMES = frozenset({"fedasync", "fedbuff"})
 
 
 def __getattr__(name: str):
@@ -53,6 +60,18 @@ def _core_factory(name: str) -> Callable[..., Strategy]:
     return factory
 
 
+def _async_factory(name: str) -> Callable[..., Strategy]:
+    """Deferred import of the async strategies (same pattern as core)."""
+    def factory(**kwargs) -> Strategy:
+        from ..async_sim import strategies as _async
+
+        return getattr(_async, name)(**kwargs)
+
+    factory.__name__ = name
+    factory.requires_async = True
+    return factory
+
+
 STRATEGY_REGISTRY: Registry[Strategy] = Registry("strategy", {
     "fedavg": FedAvg,
     "fedprox": FedProx,
@@ -61,6 +80,8 @@ STRATEGY_REGISTRY: Registry[Strategy] = Registry("strategy", {
     "isp_transform": _core_factory("ISPTransformOnly"),
     "isp_swad": _core_factory("ISPTransformWithSWAD"),
     "heteroswitch": _core_factory("HeteroSwitch"),
+    "fedasync": _async_factory("FedAsync"),
+    "fedbuff": _async_factory("FedBuff"),
 })
 
 

@@ -31,7 +31,8 @@ from ..eval.scale import ExperimentScale
 from ..fl.callbacks import CheckpointCallback
 from ..fl.config import FLConfig
 from ..fl.metrics import summarize_per_device
-from ..fl.simulation import FederatedSimulation, FLHistory
+from ..fl.async_sim import AsyncFederatedSimulation
+from ..fl.simulation import FederatedSimulation, FLHistory, history_from_dict
 from ..fl.strategies import create_strategy
 from ..data.partition import build_client_specs
 from ..nn.layers import Module
@@ -183,7 +184,7 @@ class Runner:
         history for completed runs and restores partial runs from their
         newest checkpoint before continuing.
         """
-        if spec.kind != "federated":
+        if spec.kind not in ("federated", "federated_async"):
             raise ValueError(f"run_seed requires a federated spec, got kind '{spec.kind}'")
         scale = spec.resolve_scale()
 
@@ -195,7 +196,7 @@ class Runner:
             entry = self.store.open_run(spec, seed, extra={"num_rounds": num_rounds})
             if resume:
                 if entry.has_result():
-                    return FLHistory.from_dict(entry.load_result()["history"])
+                    return history_from_dict(entry.load_result()["history"])
                 snapshot = entry.load_checkpoint()
 
         bundle = self.build_bundle(spec, seed)
@@ -213,7 +214,6 @@ class Runner:
         strategy_kwargs = {**bundle.strategy_defaults.get(spec.strategy, {}),
                            **spec.strategy_kwargs}
         strategy = create_strategy(spec.strategy, **strategy_kwargs)
-        sampler = SAMPLER_REGISTRY.create(spec.sampler, **spec.sampler_kwargs)
         callbacks = [CALLBACK_REGISTRY.create(name, **kwargs)
                      for name, kwargs in spec.callbacks.items()]
         if entry is not None:
@@ -224,10 +224,19 @@ class Runner:
         # including exceptions raised by callbacks or the simulation itself.
         executor = EXECUTOR_REGISTRY.create(spec.executor, max_workers=spec.max_workers)
         try:
-            simulation = FederatedSimulation(
-                factory, clients, bundle.test, strategy, config,
-                sampler=sampler, callbacks=callbacks, executor=executor,
-            )
+            if spec.kind == "federated_async":
+                simulation = AsyncFederatedSimulation(
+                    factory, clients, bundle.test, strategy, config,
+                    latency=spec.latency_kwargs.get("regime", "mild"),
+                    concurrency=spec.concurrency,
+                    callbacks=callbacks, executor=executor,
+                )
+            else:
+                sampler = SAMPLER_REGISTRY.create(spec.sampler, **spec.sampler_kwargs)
+                simulation = FederatedSimulation(
+                    factory, clients, bundle.test, strategy, config,
+                    sampler=sampler, callbacks=callbacks, executor=executor,
+                )
             if snapshot is not None:
                 simulation.restore(snapshot)
             history = simulation.run()

@@ -25,7 +25,7 @@ from ..fl.callbacks import CALLBACK_REGISTRY
 from ..fl.config import FLConfig
 from ..fl.execution import EXECUTOR_REGISTRY, validate_max_workers
 from ..fl.sampling import SAMPLER_REGISTRY
-from ..fl.strategies import STRATEGY_REGISTRY
+from ..fl.strategies import ASYNC_STRATEGY_NAMES, STRATEGY_REGISTRY
 from ..nn.models import MODEL_REGISTRY
 
 __all__ = ["RunSpec", "RUN_KINDS", "spec_scale"]
@@ -41,7 +41,11 @@ def spec_scale(scale: "str | ExperimentScale") -> "str | Dict[str, Any]":
         return scale
     return dataclasses.asdict(get_scale(scale))
 
-RUN_KINDS = ("federated", "centralized")
+RUN_KINDS = ("federated", "federated_async", "centralized")
+
+# latency_kwargs keys a federated_async spec may carry.  ``regime`` names a
+# preset from repro.devices.latency.LATENCY_REGIMES.
+_LATENCY_KWARGS_FIELDS = ("regime",)
 
 _FL_CONFIG_FIELDS = {f.name for f in dataclasses.fields(FLConfig)}
 _SCALE_FIELDS = {f.name for f in dataclasses.fields(ExperimentScale)}
@@ -56,10 +60,14 @@ class RunSpec:
     name:
         Optional human-readable label (used in reports).
     kind:
-        ``"federated"`` (the FL loop) or ``"centralized"`` (single-model SGD,
-        e.g. the Fig. 7 SWA/SWAD comparison).
+        ``"federated"`` (the synchronous FL loop), ``"federated_async"``
+        (the event-driven asynchronous loop with a simulated clock), or
+        ``"centralized"`` (single-model SGD, e.g. the Fig. 7 SWA/SWAD
+        comparison).
     strategy / strategy_kwargs:
-        FL strategy registry key and constructor arguments (federated only).
+        FL strategy registry key and constructor arguments (federated kinds
+        only).  Asynchronous strategies (``fedasync``/``fedbuff``) require
+        ``kind="federated_async"`` and vice versa.
     model:
         Model registry key; ``None`` defers to the dataset's / scale's default.
     dataset / dataset_kwargs:
@@ -81,6 +89,13 @@ class RunSpec:
     callbacks:
         Mapping of callback registry key to constructor kwargs, attached to
         every seed's run.
+    latency_kwargs:
+        Asynchronous-only device-latency options; currently ``regime``
+        (a :data:`repro.devices.latency.LATENCY_REGIMES` preset name,
+        default ``"mild"``).
+    concurrency:
+        Asynchronous-only cap on simultaneously training clients
+        (``None`` = the config's ``clients_per_round``).
     trainer_kwargs:
         Centralized-only options (``averager``, ``transform_degree``,
         ``epochs``...).
@@ -103,6 +118,8 @@ class RunSpec:
     scale: Union[str, Dict[str, Any]] = "smoke"
     config_overrides: Dict[str, Any] = field(default_factory=dict)
     callbacks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    latency_kwargs: Dict[str, Any] = field(default_factory=dict)
+    concurrency: Optional[int] = None
     trainer_kwargs: Dict[str, Any] = field(default_factory=dict)
     seeds: List[int] = field(default_factory=lambda: [0])
 
@@ -118,9 +135,8 @@ class RunSpec:
 
         if self.kind not in RUN_KINDS:
             raise ValueError(f"kind must be one of {RUN_KINDS}, got '{self.kind}'")
-        if self.kind == "federated":
+        if self.kind in ("federated", "federated_async"):
             _require(STRATEGY_REGISTRY, self.strategy)
-            _require(SAMPLER_REGISTRY, self.sampler)
             _require(EXECUTOR_REGISTRY, self.executor)
             validate_max_workers(self.max_workers)
             for callback_name in self.callbacks:
@@ -136,12 +152,62 @@ class RunSpec:
                     "trainer_kwargs only applies to centralized specs; federated "
                     "runs configure training via config_overrides"
                 )
+        if self.kind == "federated":
+            _require(SAMPLER_REGISTRY, self.sampler)
+            if self.strategy in ASYNC_STRATEGY_NAMES:
+                raise ValueError(
+                    f"strategy '{self.strategy}' is asynchronous-only; "
+                    f"use kind='federated_async'"
+                )
+            ignored = [name for name in ("latency_kwargs",) if getattr(self, name)]
+            if self.concurrency is not None:
+                ignored.append("concurrency")
+            if ignored:
+                raise ValueError(
+                    f"synchronous federated specs do not use {sorted(ignored)}; "
+                    f"these fields require kind='federated_async'"
+                )
+        elif self.kind == "federated_async":
+            if self.strategy not in ASYNC_STRATEGY_NAMES:
+                raise ValueError(
+                    f"kind='federated_async' requires an asynchronous strategy "
+                    f"{sorted(ASYNC_STRATEGY_NAMES)}, got '{self.strategy}'"
+                )
+            # The event loop dispatches to whichever clients are online and
+            # idle — there is no per-round cohort to sample.
+            if self.sampler != RunSpec.sampler or self.sampler_kwargs:
+                raise ValueError(
+                    "federated_async specs do not use sampler/sampler_kwargs; "
+                    "client scheduling is driven by the latency/availability "
+                    "models (latency_kwargs)"
+                )
+            unknown = set(self.latency_kwargs) - set(_LATENCY_KWARGS_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown latency_kwargs {sorted(unknown)}; "
+                    f"valid keys: {sorted(_LATENCY_KWARGS_FIELDS)}"
+                )
+            if "regime" in self.latency_kwargs:
+                # Local import: the devices package is independent of runtime.
+                from ..devices.latency import get_regime
+
+                get_regime(self.latency_kwargs["regime"])
+            if self.concurrency is not None and (
+                isinstance(self.concurrency, bool)
+                or not isinstance(self.concurrency, int)
+                or self.concurrency <= 0
+            ):
+                raise ValueError(
+                    f"concurrency must be a positive integer or None, "
+                    f"got {self.concurrency!r}"
+                )
         else:
             # Centralized runs have no FL loop: reject fields that would be
             # silently ignored instead of letting a wrong run look valid.
             ignored = [name for name in
                        ("strategy_kwargs", "config_overrides", "callbacks",
-                        "sampler_kwargs", "partition_kwargs") if getattr(self, name)]
+                        "sampler_kwargs", "partition_kwargs",
+                        "latency_kwargs") if getattr(self, name)]
             if self.strategy != RunSpec.strategy:
                 ignored.append("strategy")
             if self.sampler != RunSpec.sampler:
@@ -150,6 +216,8 @@ class RunSpec:
                 ignored.append("executor")
             if self.max_workers is not None:
                 ignored.append("max_workers")
+            if self.concurrency is not None:
+                ignored.append("concurrency")
             if ignored:
                 raise ValueError(
                     f"centralized specs do not use {sorted(ignored)}; training is "

@@ -274,7 +274,9 @@ class RunStore:
     # -- keys ------------------------------------------------------------ #
     @staticmethod
     def run_id(spec: "RunSpec", seed: int) -> str:
-        prefix = spec.strategy if spec.kind == "federated" else spec.kind
+        # Both federated kinds key by strategy (the names are disjoint);
+        # centralized runs have no strategy and key by kind.
+        prefix = spec.kind if spec.kind == "centralized" else spec.strategy
         return f"{prefix}-{spec.dataset}-{spec_hash(spec)[:10]}-seed{seed}"
 
     # -- lifecycle -------------------------------------------------------- #

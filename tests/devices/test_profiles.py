@@ -86,13 +86,17 @@ class TestProfiles:
         with pytest.raises(KeyError):
             get_device("iPhone15")
 
-    def test_devices_by_vendor_unknown_raises(self):
-        with pytest.raises(KeyError):
+    def test_devices_by_vendor_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="google.*lg.*samsung"):
             devices_by_vendor("nokia")
 
-    def test_devices_by_tier_unknown_raises(self):
-        with pytest.raises(KeyError):
+    def test_devices_by_tier_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="high.*low.*mid"):
             devices_by_tier("ultra")
+
+    def test_get_device_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="Pixel5"):
+            get_device("iPhone15")
 
     def test_profile_validation(self):
         with pytest.raises(ValueError):
@@ -114,3 +118,11 @@ class TestMarketShares:
 
     def test_all_devices_present(self):
         assert set(market_shares()) == set(DEVICE_NAMES)
+
+    def test_zero_total_share_raises_instead_of_dividing(self, monkeypatch):
+        import repro.devices.profiles as profiles_module
+
+        monkeypatch.setattr(profiles_module, "DEVICE_PROFILES", {})
+        with pytest.raises(ValueError, match="cannot normalize"):
+            market_shares(normalize=True)
+        assert market_shares(normalize=False) == {}

@@ -11,7 +11,8 @@ from repro.eval.results import ExperimentResult
 class TestRunnerIndex:
     def test_all_paper_artifacts_covered(self):
         expected = {"fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig7",
-                    "table4", "table5", "table6", "fig8", "ecg", "fig9"}
+                    "table4", "table5", "table6", "fig8", "ecg", "fig9",
+                    "async"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment(self):

@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic simulated-clock event queue."""
+
+import pytest
+
+from repro.fl.async_sim.events import EVENT_KINDS, EventQueue, SimEvent, event_rng
+
+
+class TestEventRng:
+    def test_pure_function_of_identity(self):
+        a = event_rng(0, "latency", 3, 7).random(4)
+        b = event_rng(0, "latency", 3, 7).random(4)
+        assert (a == b).all()
+
+    def test_streams_are_disjoint(self):
+        draws = {
+            stream: tuple(event_rng(0, stream, 1).random(3))
+            for stream in ("latency", "availability", "init", "dispatch", "tiebreak")
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_unknown_stream_raises(self):
+        with pytest.raises(KeyError):
+            event_rng(0, "wallclock", 0)
+
+
+class TestSimEvent:
+    def test_kinds(self):
+        assert set(EVENT_KINDS) == {"completion", "toggle"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimEvent(time=1.0, kind="dispatch", client_id=0)
+        with pytest.raises(ValueError):
+            SimEvent(time=-0.5, kind="toggle", client_id=0)
+
+    def test_dict_round_trip(self):
+        event = SimEvent(time=3.25, kind="completion", client_id=4, job_id=9,
+                         tiebreak=0.125)
+        assert SimEvent.from_dict(event.to_dict()) == event
+        untagged = SimEvent(time=1.0, kind="toggle", client_id=2)
+        assert SimEvent.from_dict(untagged.to_dict()).tiebreak is None
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue(seed=0)
+        for t in (5.0, 1.0, 3.0):
+            queue.push(SimEvent(time=t, kind="toggle", client_id=0))
+        assert [queue.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_len_bool_peek(self):
+        queue = EventQueue(seed=0)
+        assert not queue and len(queue) == 0
+        queue.push(SimEvent(time=2.0, kind="toggle", client_id=1))
+        assert queue and len(queue) == 1
+        assert queue.peek().client_id == 1
+        assert len(queue) == 1  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue(seed=0).pop()
+        with pytest.raises(IndexError):
+            EventQueue(seed=0).peek()
+
+    def test_ties_broken_by_seeded_tiebreak(self):
+        # Same timestamp, pushed in client order: the pop order must follow
+        # the seeded tiebreak draws, not structurally favour insertion order
+        # for every seed.
+        def tie_order(seed):
+            queue = EventQueue(seed=seed)
+            for cid in range(6):
+                queue.push(SimEvent(time=10.0, kind="toggle", client_id=cid))
+            return tuple(queue.pop().client_id for _ in range(6))
+
+        orders = {tie_order(seed) for seed in range(8)}
+        assert len(orders) > 1                       # seed changes the order
+        assert tuple(range(6)) not in orders or len(orders) > 1
+        assert tie_order(3) == tie_order(3)          # but each seed is stable
+
+    def test_explicit_tiebreak_preserved(self):
+        queue = EventQueue(seed=0)
+        first = queue.push(SimEvent(time=1.0, kind="toggle", client_id=0,
+                                    tiebreak=0.9))
+        assert first.tiebreak == 0.9
+
+    def test_identical_seeds_pop_identically(self):
+        def run(seed):
+            queue = EventQueue(seed=seed)
+            for i, t in enumerate([4.0, 4.0, 2.0, 4.0, 1.0]):
+                queue.push(SimEvent(time=t, kind="completion", client_id=i,
+                                    job_id=i))
+            return [(queue.pop().time, queue.pop().client_id) for _ in range(2)]
+
+        assert run(11) == run(11)
+
+    def test_state_dict_round_trip_preserves_order(self):
+        queue = EventQueue(seed=5)
+        for i, t in enumerate([7.0, 7.0, 7.0, 2.5, 9.0]):
+            queue.push(SimEvent(time=t, kind="toggle", client_id=i))
+        queue.pop()  # consume one so counters are mid-stream
+
+        restored = EventQueue.from_state_dict(queue.state_dict())
+        expected = [queue.pop() for _ in range(len(queue))]
+        actual = [restored.pop() for _ in range(len(restored))]
+        assert actual == expected
+
+    def test_state_dict_round_trip_preserves_counters(self):
+        queue = EventQueue(seed=5)
+        for t in (1.0, 1.0):
+            queue.push(SimEvent(time=t, kind="toggle", client_id=0))
+        restored = EventQueue.from_state_dict(queue.state_dict())
+        # Pushing the *next* event must draw the same tiebreak in both.
+        a = queue.push(SimEvent(time=1.0, kind="toggle", client_id=1))
+        b = restored.push(SimEvent(time=1.0, kind="toggle", client_id=1))
+        assert a.tiebreak == b.tiebreak

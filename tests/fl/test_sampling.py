@@ -7,6 +7,7 @@ from repro.fl.sampling import (
     SAMPLER_REGISTRY,
     RoundRobinSampler,
     UniformSampler,
+    WeightedSampler,
     create_sampler,
 )
 from repro.fl.simulation import FederatedSimulation
@@ -60,10 +61,80 @@ class TestRoundRobinSampler:
         assert sampler.select(10, 3, 4, seed=2) == sampler.select(10, 3, 4, seed=2)
 
 
+class TestWeightedSampler:
+    def test_explicit_weights_replayable(self):
+        sampler = WeightedSampler(weights=[4, 2, 1, 1, 1, 1], smoothing=0.0)
+        draw = sampler.select(6, 3, round_index=5, seed=7)
+        assert len(set(draw)) == 3
+        assert draw == sampler.select(6, 3, round_index=5, seed=7)
+        assert draw == WeightedSampler(weights=[4, 2, 1, 1, 1, 1],
+                                       smoothing=0.0).select(6, 3, 5, 7)
+
+    def test_market_share_weights_favor_dominant_devices(self):
+        from types import SimpleNamespace
+
+        # Two S6 clients (38% share each) vs two Pixel5 clients (1% each).
+        clients = [SimpleNamespace(device=d) for d in
+                   ("S6", "S6", "Pixel5", "Pixel5")]
+        sampler = WeightedSampler(weight_by="market_share", smoothing=0.0)
+        sampler.bind(clients)
+        counts = [0, 0, 0, 0]
+        for round_index in range(300):
+            for i in sampler.select(4, 2, round_index, seed=0):
+                counts[i] += 1
+        assert counts[0] + counts[1] > 5 * (counts[2] + counts[3])
+
+    def test_availability_weights_bind(self, tiny_clients):
+        sampler = WeightedSampler(weight_by="availability", regime="mild")
+        sampler.bind(tiny_clients)
+        draw = sampler.select(len(tiny_clients), 3, 0, seed=1)
+        assert len(set(draw)) == 3
+
+    def test_unbound_raises(self):
+        with pytest.raises(ValueError, match="no weights"):
+            WeightedSampler().select(4, 2, 0, seed=0)
+
+    def test_weight_count_mismatch_raises(self):
+        sampler = WeightedSampler(weights=[1, 1, 1])
+        with pytest.raises(ValueError, match="cover 3 clients"):
+            sampler.select(5, 2, 0, seed=0)
+
+    def test_starvation_guard(self):
+        sampler = WeightedSampler(weights=[1, 1, 0, 0], smoothing=0.0)
+        with pytest.raises(ValueError, match="non-zero weight"):
+            sampler.select(4, 3, 0, seed=0)
+
+    def test_smoothing_keeps_everyone_sampleable(self):
+        sampler = WeightedSampler(weights=[1, 1, 0, 0], smoothing=0.1)
+        assert len(sampler.select(4, 4, 0, seed=0)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weight_by"):
+            WeightedSampler(weight_by="karma")
+        with pytest.raises(ValueError):
+            WeightedSampler(smoothing=-0.1)
+        with pytest.raises(ValueError):
+            WeightedSampler(weights=[-1.0, 2.0])
+        with pytest.raises(ValueError):
+            WeightedSampler(weights=[0.0, 0.0], smoothing=0.0)
+
+    def test_simulation_binds_weighted_sampler(self, tiny_bundle, tiny_clients,
+                                               tiny_fl_config, tiny_model_fn):
+        sampler = WeightedSampler(weight_by="market_share")
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  FedAvg(), tiny_fl_config, sampler=sampler)
+        history = sim.run()
+        expected = sampler.select(len(tiny_clients),
+                                  tiny_fl_config.clients_per_round,
+                                  0, tiny_fl_config.seed)
+        assert history.rounds[0].selected_clients == expected
+
+
 class TestSamplerRegistry:
     def test_create_by_name(self):
         assert isinstance(create_sampler("uniform"), UniformSampler)
         assert isinstance(create_sampler("round_robin"), RoundRobinSampler)
+        assert isinstance(create_sampler("weighted"), WeightedSampler)
 
     def test_unknown_sampler_lists_available(self):
         with pytest.raises(KeyError, match="unknown sampler 'x'.*round_robin.*uniform"):

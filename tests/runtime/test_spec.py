@@ -182,3 +182,78 @@ class TestDerivation:
         assert RunSpec().label == "fedavg/device_capture"
         assert RunSpec(name="custom").label == "custom"
         assert RunSpec(kind="centralized", dataset="scenes").label == "centralized/scenes"
+
+
+class TestAsyncSpec:
+    """kind='federated_async': field acceptance/rejection and round-trip."""
+
+    def _async_spec(self, **overrides) -> RunSpec:
+        fields = dict(kind="federated_async", strategy="fedasync",
+                      latency_kwargs={"regime": "extreme"}, concurrency=3,
+                      config_overrides={"num_rounds": 3}, seeds=[0, 1])
+        fields.update(overrides)
+        return RunSpec(**fields)
+
+    def test_valid_async_spec(self):
+        spec = self._async_spec()
+        assert spec.label == "fedasync/device_capture"
+        assert spec.latency_kwargs == {"regime": "extreme"}
+
+    def test_json_round_trip(self):
+        spec = self._async_spec(strategy="fedbuff",
+                                strategy_kwargs={"buffer_size": 2})
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_async_strategy_requires_async_kind(self):
+        with pytest.raises(ValueError, match="asynchronous-only"):
+            RunSpec(strategy="fedasync")
+        with pytest.raises(ValueError, match="asynchronous-only"):
+            RunSpec(strategy="fedbuff")
+
+    def test_async_kind_requires_async_strategy(self):
+        with pytest.raises(ValueError, match="requires an asynchronous strategy"):
+            RunSpec(kind="federated_async", strategy="fedavg")
+        with pytest.raises(ValueError, match="requires an asynchronous strategy"):
+            RunSpec(kind="federated_async", strategy="heteroswitch")
+
+    def test_async_rejects_sampler_fields(self):
+        with pytest.raises(ValueError, match="do not use sampler"):
+            self._async_spec(sampler="round_robin")
+        with pytest.raises(ValueError, match="do not use sampler"):
+            self._async_spec(sampler_kwargs={"weight_by": "availability"})
+
+    def test_async_rejects_trainer_kwargs(self):
+        with pytest.raises(ValueError, match="trainer_kwargs only applies"):
+            self._async_spec(trainer_kwargs={"epochs": 2})
+
+    def test_unknown_latency_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="unknown latency_kwargs.*jitter"):
+            self._async_spec(latency_kwargs={"jitter": 0.5})
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(KeyError, match="unknown latency regime"):
+            self._async_spec(latency_kwargs={"regime": "chaotic"})
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "two"])
+    def test_invalid_concurrency_rejected(self, bad):
+        with pytest.raises(ValueError, match="concurrency"):
+            self._async_spec(concurrency=bad)
+
+    def test_sync_federated_rejects_async_fields(self):
+        with pytest.raises(ValueError, match="latency_kwargs"):
+            RunSpec(latency_kwargs={"regime": "mild"})
+        with pytest.raises(ValueError, match="concurrency"):
+            RunSpec(concurrency=2)
+
+    def test_centralized_rejects_async_fields(self):
+        with pytest.raises(ValueError, match="centralized specs do not use"):
+            RunSpec(kind="centralized", dataset="scenes",
+                    latency_kwargs={"regime": "mild"})
+        with pytest.raises(ValueError, match="centralized specs do not use"):
+            RunSpec(kind="centralized", dataset="scenes", concurrency=2)
+
+    def test_async_accepts_executor_and_callbacks(self):
+        spec = self._async_spec(executor="thread", max_workers=2,
+                                callbacks={"async_telemetry": {}})
+        assert spec.executor == "thread"
+        assert "async_telemetry" in spec.callbacks
