@@ -15,6 +15,14 @@ registered in :data:`EXECUTOR_REGISTRY`:
   factories or datasets); only the :class:`~repro.fl.training.ClientResult`
   payloads return through pickle, made contiguous/pickle-safe via
   :func:`repro.nn.serialization.clone_state`.
+* ``shm``     — the fleet-scale backend: a *persistent* fork-based worker pool
+  plus a ``multiprocessing.shared_memory`` broadcast segment.  The server
+  packs the global weights into the segment once per round
+  (:class:`~repro.nn.serialization.StateLayout` order); workers attach
+  read-only views, train, and ship back only a compact packed update vector.
+  Results stream to the server in selection order (``streaming = True``), so
+  together with the strategies' streaming reductions one round is O(1) in
+  clients/round on the server side.
 
 Determinism contract (why every backend produces bit-identical runs):
 
@@ -35,16 +43,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
 import sys
 import threading
+import traceback
 from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import wait as _futures_wait
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.partition import ClientSpec
 from ..nn.engine import engine_mode
-from ..nn.serialization import clone_state
+from ..nn.serialization import StateLayout, clone_state
 from ..registry import Registry
 from .training import ClientResult
 
@@ -61,6 +72,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedMemoryExecutor",
     "EXECUTOR_REGISTRY",
     "create_executor",
 ]
@@ -139,6 +151,14 @@ class ClientExecutor:
 
     name = "executor"
 
+    #: Whether the simulation should consume this backend through
+    #: :meth:`iter_round` + ``Strategy.aggregate_stream`` (results folded into
+    #: the aggregate one at a time) instead of materializing the round with
+    #: :meth:`run_round`.  Only backends whose ``iter_round`` is genuinely
+    #: incremental should set this; the golden-path backends keep it ``False``
+    #: so their behaviour is byte-for-byte unchanged.
+    streaming = False
+
     def __init__(self, max_workers: Optional[int] = None) -> None:
         validate_max_workers(max_workers)
         self.max_workers = max_workers
@@ -153,6 +173,25 @@ class ClientExecutor:
     ) -> List[ClientResult]:
         """Train every selected client and return results in selection order."""
         raise NotImplementedError
+
+    def iter_round(
+        self,
+        strategy: "Strategy",
+        model_fn: ModelFactory,
+        selected: Sequence[ClientSpec],
+        global_state: Dict[str, np.ndarray],
+        context: "FLContext",
+    ) -> Iterator[ClientResult]:
+        """Yield the round's client results in selection order.
+
+        The streaming counterpart of :meth:`run_round`: consumers may fold
+        each result into an accumulator and release it before the next one
+        arrives.  The default materializes the round first, so every backend
+        supports the protocol; backends that can produce results
+        incrementally override this and advertise it via :attr:`streaming`.
+        """
+        yield from self.run_round(strategy, model_fn, selected, global_state,
+                                  context)
 
     def close(self) -> None:
         """Release worker resources (idempotent; the executor stays usable)."""
@@ -182,10 +221,14 @@ class SerialExecutor(ClientExecutor):
         self._model: Optional["Module"] = None
 
     def run_round(self, strategy, model_fn, selected, global_state, context):
+        return list(self.iter_round(strategy, model_fn, selected, global_state,
+                                    context))
+
+    def iter_round(self, strategy, model_fn, selected, global_state, context):
         if self._factory is not model_fn:
             self._factory, self._model = model_fn, model_fn()
-        return [run_client(strategy, self._model, spec, global_state, context)
-                for spec in selected]
+        for spec in selected:
+            yield run_client(strategy, self._model, spec, global_state, context)
 
 
 class ThreadExecutor(ClientExecutor):
@@ -224,13 +267,38 @@ class ThreadExecutor(ClientExecutor):
         futures = [pool.submit(self._run_one, strategy, model_fn, spec,
                                global_state, context)
                    for spec in selected]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # Fail fast: without this, a failing first client would still wait
+            # for (and silently discard) every later client's result one
+            # ``future.result()`` at a time.  Cancel whatever has not started,
+            # then drain the already-running jobs so the pool is quiescent —
+            # and safely reusable — when the error propagates.
+            for future in futures:
+                future.cancel()
+            _futures_wait(futures)
+            raise
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_workers = 0
+
+
+def _require_fork_platform(executor_name: str) -> None:
+    """Gate fork-based backends to platforms where forking is actually safe.
+
+    macOS lists 'fork' as available but forking a threaded/Accelerate process
+    is unsafe there (objc fork-safety aborts), so require Linux rather than
+    merely fork availability.
+    """
+    if sys.platform == "darwin" or "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            f"the '{executor_name}' executor requires a fork-safe platform "
+            f"(Linux); use executor='thread' or 'serial' on this platform"
+        )
 
 
 # Handoff slot for the fork-based process pool.  The parent stores the round's
@@ -272,14 +340,7 @@ class ProcessExecutor(ClientExecutor):
         global _FORK_JOB
         if not selected:
             return []
-        # macOS lists 'fork' as available but forking a threaded/Accelerate
-        # process is unsafe there (objc fork-safety aborts), so require Linux
-        # rather than merely fork availability.
-        if sys.platform == "darwin" or "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "the 'process' executor requires a fork-safe platform (Linux); "
-                "use executor='thread' or 'serial' on this platform"
-            )
+        _require_fork_platform(self.name)
         workers = self._effective_workers(len(selected))
         mp_context = multiprocessing.get_context("fork")
         # The module-global handoff supports one in-flight round per process:
@@ -304,10 +365,318 @@ class ProcessExecutor(ClientExecutor):
         return list(results)
 
 
+# Fork handoff for the persistent shared-memory pool: the (strategy, model
+# factory) pair is staged here immediately before the workers fork and cleared
+# right after, so neither object is ever pickled — same trick as _FORK_JOB,
+# but inherited once for the pool's whole lifetime instead of per round.
+_SHM_STATIC: Optional[Tuple["Strategy", ModelFactory]] = None
+
+
+def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
+    """Long-lived shm worker loop: attach → train clients → ship packed vectors.
+
+    Protocol (all messages are tuples tagged by their first element):
+
+    * ``("round", header)`` — start-of-round broadcast.  The header names the
+      shared-memory segment holding the packed global weights plus the layout
+      (keys/shapes) to interpret it, and carries the round's context snapshot
+      (config, EMA state, selection, server storage).
+    * ``("client", position, spec, storage)`` — train one client; reply on the
+      shared result queue with ``("ok", worker_index, position, vector,
+      num_samples, train_loss, init_loss, client_id, metadata)`` where
+      ``vector`` is the layout-packed update — the model weights themselves
+      never travel back as a dict.
+    * ``("stop",)`` — exit the loop.
+
+    Failures reply ``("err", worker_index, position, traceback_text)`` and
+    keep the worker alive.  The segment is mapped read-only via ``np.memmap``
+    on its ``/dev/shm`` backing file rather than ``SharedMemory(name=...)``:
+    attaching through the class would enroll the segment with this process's
+    ``resource_tracker``, whose cleanup would fight the parent's over who
+    unlinks it.
+    """
+    static = _SHM_STATIC
+    assert static is not None, "worker forked without a staged (strategy, model_fn)"
+    strategy, model_fn = static
+    model: Optional["Module"] = None
+    layout: Optional[StateLayout] = None
+    shm_name: Optional[str] = None
+    shm_vector: Optional[np.ndarray] = None
+    round_context: Optional["FLContext"] = None
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        try:
+            if kind == "round":
+                # Late imports: strategies.base imports this module, and the
+                # core package's __init__ pulls the strategies in too.
+                from ..core.ema import EMALossTracker
+                from .strategies.base import FLContext
+
+                header = message[1]
+                layout = StateLayout.from_keys_shapes(header["keys"], header["shapes"])
+                if shm_name != header["shm_name"]:
+                    shm_name = header["shm_name"]
+                    shm_vector = np.memmap("/dev/shm/" + shm_name, dtype=np.float64,
+                                           mode="r", shape=(layout.size,))
+                ema = EMALossTracker(alpha=header["config"].ema_alpha)
+                ema.load_state_dict(header["ema"])
+                round_context = FLContext(
+                    config=header["config"],
+                    ema=ema,
+                    round_index=header["round_index"],
+                    round_selection=list(header["round_selection"]),
+                    server_storage=header["server_storage"],
+                )
+            elif kind == "client":
+                position, spec, storage = message[1], message[2], message[3]
+                round_context.client_storage[spec.client_id] = storage
+                # Zero-copy broadcast: read-only views into the shared segment.
+                # Safe because client_update treats global_state as read-only
+                # and model loading copies values in (load_state_dict).
+                global_state = layout.unpack(np.asarray(shm_vector))
+                if model is None:
+                    model = model_fn()
+                result = run_client(strategy, model, spec, global_state,
+                                    round_context)
+                vector = layout.pack(result.state)
+                result_queue.put(("ok", worker_index, position, vector,
+                                  result.num_samples, result.train_loss,
+                                  result.init_loss, result.client_id,
+                                  result.metadata))
+        except BaseException:
+            position = message[1] if kind == "client" else -1
+            result_queue.put(("err", worker_index, position,
+                              traceback.format_exc()))
+
+
+class SharedMemoryExecutor(ClientExecutor):
+    """Fleet-scale backend: persistent fork pool + shared-memory broadcast.
+
+    Differences from :class:`ProcessExecutor` that make hundreds of clients
+    per round tractable:
+
+    * **Persistent workers** — the pool forks once (per ``(strategy,
+      model_fn)`` pair) and survives across rounds and runs, so scratch
+      models are built once per worker, not once per round.
+    * **Shared-memory broadcast** — the global weights are packed once into a
+      named ``multiprocessing.shared_memory`` segment; workers map it
+      read-only.  Per-round communication to each worker is a small header
+      (segment name, layout, context snapshot), not a copy of the model.
+    * **Compact returns** — workers reply with the layout-packed update
+      vector; the server unpacks straight into the streaming aggregation.
+    * **Streaming rounds** — :meth:`iter_round` yields results in selection
+      order as they complete (a reorder buffer bridges completion order to
+      selection order), and advertises ``streaming = True`` so the simulation
+      folds each update into the aggregate and frees it immediately: server
+      memory per round is O(model), not O(clients x model).
+
+    Task dispatch is dynamically load-balanced: each worker gets one client
+    up front and receives the next one when its result arrives.  Determinism
+    is unaffected — every client's RNG stream is a pure function of
+    ``(seed, round, client_id)`` and reduction follows selection order — so
+    runs are bit-identical to the serial reference.
+    """
+
+    name = "shm"
+    streaming = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._workers: List[Tuple[Any, Any]] = []  # (Process, SimpleQueue)
+        self._result_queue = None
+        self._static: Optional[Tuple["Strategy", ModelFactory]] = None
+        self._segment = None
+        self._segment_vector: Optional[np.ndarray] = None
+        self._segment_size = 0
+
+    # -- pool lifecycle --------------------------------------------------- #
+    def _ensure_pool(self, strategy: "Strategy", model_fn: ModelFactory,
+                     workers: int) -> None:
+        global _SHM_STATIC
+        if self._workers:
+            reusable = (
+                self._static is not None
+                and self._static[0] is strategy
+                and self._static[1] is model_fn
+                and len(self._workers) >= workers
+                and all(proc.is_alive() for proc, _ in self._workers)
+            )
+            if reusable:
+                return
+            self._shutdown_pool(graceful=True)
+        mp_context = multiprocessing.get_context("fork")
+        self._result_queue = mp_context.Queue()
+        # Task queues are SimpleQueues on purpose: their put() writes the pipe
+        # synchronously under a lock, so the parent never owns Queue feeder
+        # threads whose locks a later fork could copy in a held state.
+        _SHM_STATIC = (strategy, model_fn)
+        try:
+            for index in range(workers):
+                task_queue = mp_context.SimpleQueue()
+                process = mp_context.Process(
+                    target=_shm_worker_main,
+                    args=(index, task_queue, self._result_queue),
+                    daemon=True,
+                )
+                process.start()
+                self._workers.append((process, task_queue))
+        finally:
+            _SHM_STATIC = None
+        self._static = (strategy, model_fn)
+
+    def _shutdown_pool(self, graceful: bool) -> None:
+        workers, self._workers = self._workers, []
+        self._static = None
+        for process, task_queue in workers:
+            if graceful and process.is_alive():
+                try:
+                    task_queue.put(("stop",))
+                except (OSError, ValueError):  # pragma: no cover - dying pipe
+                    pass
+        for process, task_queue in workers:
+            process.join(timeout=5.0 if graceful else 0.5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            task_queue.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue = None
+
+    # -- broadcast segment ------------------------------------------------ #
+    def _ensure_segment(self, layout: StateLayout) -> None:
+        if self._segment is not None and self._segment_size == layout.size:
+            return
+        self._release_segment()
+        from multiprocessing import shared_memory
+
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=layout.size * np.dtype(np.float64).itemsize)
+        self._segment_size = layout.size
+        self._segment_vector = np.ndarray((layout.size,), dtype=np.float64,
+                                          buffer=self._segment.buf)
+
+    def _release_segment(self) -> None:
+        if self._segment is None:
+            return
+        # Drop the exported view first: SharedMemory.close() refuses while
+        # buffer views are alive.
+        self._segment_vector = None
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+        self._segment = None
+        self._segment_size = 0
+
+    # -- round execution -------------------------------------------------- #
+    def run_round(self, strategy, model_fn, selected, global_state, context):
+        return list(self.iter_round(strategy, model_fn, selected, global_state,
+                                    context))
+
+    def iter_round(self, strategy, model_fn, selected, global_state, context):
+        if not selected:
+            return
+        _require_fork_platform(self.name)
+        selected = list(selected)
+        workers = self._effective_workers(len(selected))
+        self._ensure_pool(strategy, model_fn, workers)
+        layout = StateLayout(global_state)
+        self._ensure_segment(layout)
+        layout.pack(global_state, out=self._segment_vector)
+        header = {
+            "shm_name": self._segment.name,
+            "keys": list(layout.keys),
+            "shapes": [tuple(shape) for shape in layout.shapes],
+            "config": context.config,
+            "ema": context.ema.state_dict(),
+            "round_index": context.round_index,
+            "round_selection": list(context.round_selection),
+            "server_storage": context.server_storage,
+        }
+        active = self._workers[:workers]
+        for _, task_queue in active:
+            task_queue.put(("round", header))
+        sent = 0
+        for _, task_queue in active:
+            if sent >= len(selected):
+                break
+            self._send_client(task_queue, sent, selected[sent], context)
+            sent += 1
+        buffered: Dict[int, ClientResult] = {}
+        next_position = 0
+        received = 0
+        try:
+            while next_position < len(selected):
+                while next_position not in buffered:
+                    message = self._next_result(active)
+                    if message[0] == "err":
+                        raise RuntimeError(
+                            f"shm worker failed on client at position "
+                            f"{message[2]}:\n{message[3]}")
+                    (_, worker_index, position, vector, num_samples,
+                     train_loss, init_loss, client_id, metadata) = message
+                    buffered[position] = ClientResult(
+                        state=layout.unpack(vector), num_samples=num_samples,
+                        train_loss=train_loss, init_loss=init_loss,
+                        client_id=client_id, metadata=metadata)
+                    received += 1
+                    if sent < len(selected):
+                        self._send_client(active[worker_index][1], sent,
+                                          selected[sent], context)
+                        sent += 1
+                yield buffered.pop(next_position)
+                next_position += 1
+        except BaseException:
+            # A failed (or abandoned — GeneratorExit lands here too) round
+            # may leave workers mid-task and results in flight; terminate the
+            # pool so stale results cannot leak into the next round.  The
+            # broadcast segment stays for close() to unlink.  One abandonment
+            # is *normal*: consumers driven by zip() (consume_stream) never
+            # resume the generator after its final yield, so GeneratorExit
+            # arrives here with every result already received — the workers
+            # are idle and the pool must survive for the next round.
+            if received < len(selected):
+                self._shutdown_pool(graceful=False)
+            raise
+
+    @staticmethod
+    def _send_client(task_queue, position: int, spec: ClientSpec,
+                     context: "FLContext") -> None:
+        task_queue.put(("client", position, spec,
+                        context.client_storage.get(spec.client_id, {})))
+
+    def _next_result(self, active) -> Tuple:
+        while True:
+            try:
+                return self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                for process, _ in active:
+                    if not process.is_alive():
+                        raise RuntimeError(
+                            f"shm worker (pid {process.pid}) died unexpectedly "
+                            f"with exit code {process.exitcode}")
+
+    def close(self) -> None:
+        self._shutdown_pool(graceful=True)
+        self._release_segment()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 EXECUTOR_REGISTRY: Registry[ClientExecutor] = Registry("executor", {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "shm": SharedMemoryExecutor,
 })
 
 

@@ -13,8 +13,9 @@ a pluggable :class:`~repro.fl.sampling.ClientSampler` whose draws depend only
 on ``(seed, round_index)`` so any round can be replayed in isolation.
 
 The per-client local-training step is fanned out through a pluggable
-:class:`~repro.fl.execution.ClientExecutor` (serial, thread pool, or process
-pool); every backend produces bit-identical runs because client randomness
+:class:`~repro.fl.execution.ClientExecutor` (serial, thread pool, process
+pool, or shared-memory streaming pool); every backend produces bit-identical
+runs because client randomness
 derives from ``(seed, round, client_id)`` and results are reduced in canonical
 order (see :mod:`repro.fl.execution` for the full determinism contract).
 """
@@ -163,7 +164,8 @@ class FederatedSimulation:
     executor:
         Client-execution backend fanning out the per-client training step: a
         :class:`~repro.fl.execution.ClientExecutor` instance, a registry name
-        (``"serial"``, ``"thread"``, ``"process"``), or ``None`` for serial.
+        (``"serial"``, ``"thread"``, ``"process"``, ``"shm"``), or ``None``
+        for serial.
         A bare name uses one worker per CPU core; pass a constructed instance
         (``create_executor("thread", max_workers=4)``) to cap the pool.
         Backends the simulation creates itself are closed at the end of each
@@ -327,17 +329,30 @@ class FederatedSimulation:
         # Record the selection order: it is the canonical reduction order the
         # strategies aggregate in, whatever order parallel workers finish in.
         self.context.round_selection = [spec.client_id for spec in selected]
-        results: List[ClientResult] = self._executor.run_round(
-            self.strategy, self.model_fn, selected, self.global_state, self.context
-        )
-
         # Server-side reduction runs under the configured training engine so
         # "reference" rounds reproduce the seed dict-based aggregation exactly
         # (the flat and reference reductions are bitwise-identical either way;
         # see tests/fl/test_train_engine.py).
-        with engine_mode(self.config.train_engine):
-            self._global_state = self.strategy.aggregate(self._global_state, results, self.context)
-            self.strategy.on_round_end(self.context, results)
+        if getattr(self._executor, "streaming", False):
+            # Streaming backend (e.g. "shm"): results are folded into the
+            # aggregate one at a time in selection order and released, so the
+            # server's peak memory is O(model) regardless of clients/round.
+            # Bitwise-identical to the materialized path below.
+            stream = self._executor.iter_round(
+                self.strategy, self.model_fn, selected, self.global_state, self.context
+            )
+            with engine_mode(self.config.train_engine):
+                self._global_state, results = self.strategy.aggregate_stream(
+                    self._global_state, selected, stream, self.context)
+                self.strategy.on_round_end(self.context, results)
+        else:
+            results: List[ClientResult] = self._executor.run_round(
+                self.strategy, self.model_fn, selected, self.global_state, self.context
+            )
+            with engine_mode(self.config.train_engine):
+                self._global_state = self.strategy.aggregate(
+                    self._global_state, results, self.context)
+                self.strategy.on_round_end(self.context, results)
 
         record = RoundRecord(
             round_index=round_index,

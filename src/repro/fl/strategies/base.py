@@ -26,19 +26,20 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...core.ema import EMALossTracker
 from ...data.partition import ClientSpec
 from ...nn.layers import Module
-from ...nn.serialization import average_states
+from ...nn.serialization import StreamingAverager, average_states
 from ..config import FLConfig
 from ..execution import derive_client_seed
 from ..training import ClientResult, local_train
 
-__all__ = ["FLContext", "Strategy", "FedAvg", "canonical_results"]
+__all__ = ["FLContext", "Strategy", "FedAvg", "canonical_results",
+           "consume_stream"]
 
 StateDict = Dict[str, np.ndarray]
 
@@ -102,6 +103,42 @@ def canonical_results(results: Sequence[ClientResult],
     return ordered
 
 
+def consume_stream(selected: Sequence[ClientSpec],
+                   stream: Iterable[ClientResult]) -> Iterator[ClientResult]:
+    """Validate a streaming round's results against the selection order.
+
+    Streaming aggregation replaces :func:`canonical_results`' sort with a
+    protocol guarantee: the executor yields results in selection order (which
+    *is* the canonical reduction order).  This wrapper enforces that loudly —
+    an out-of-order or short stream raises instead of silently producing a
+    differently-associated float reduction — and checks the invariant the
+    up-front weight computation relies on (``num_samples == len(spec.dataset)``
+    for every strategy built on ``local_train``).
+    """
+    count = 0
+    for spec, result in zip(selected, stream):
+        if result.client_id != spec.client_id:
+            raise RuntimeError(
+                f"streaming round out of order: expected client "
+                f"{spec.client_id} at position {count}, got {result.client_id}"
+            )
+        if result.num_samples != len(spec.dataset):
+            raise RuntimeError(
+                f"client {result.client_id} reported num_samples="
+                f"{result.num_samples} but its dataset holds "
+                f"{len(spec.dataset)} samples; streaming aggregation derives "
+                f"weights from the selection up front and requires the two "
+                f"to agree"
+            )
+        count += 1
+        yield result
+    if count != len(selected):
+        raise RuntimeError(
+            f"streaming round ended early: {count} of {len(selected)} "
+            f"client results received"
+        )
+
+
 class Strategy:
     """Base class: FedAvg behaviour with overridable client/server steps."""
 
@@ -137,6 +174,49 @@ class Strategy:
         ordered = canonical_results(results, context)
         weights = [result.num_samples for result in ordered]
         return average_states([result.state for result in ordered], weights)
+
+    def aggregate_stream(
+        self,
+        global_state: StateDict,
+        selected: Sequence[ClientSpec],
+        stream: Iterable[ClientResult],
+        context: FLContext,
+    ) -> Tuple[StateDict, List[ClientResult]]:
+        """Aggregate a round whose results arrive one at a time.
+
+        ``stream`` yields :class:`ClientResult`\\ s in selection order (the
+        canonical reduction order); each result's weights are folded into the
+        accumulator and released before the next arrives, so the server's
+        peak memory is independent of clients/round.  Returns the new global
+        state plus the consumed results with their ``state`` dropped (losses,
+        sample counts and metadata survive for ``on_round_end`` and the
+        round record) — bitwise-identical to materializing the full list and
+        calling :meth:`aggregate`.
+
+        The base implementation streams the FedAvg reduction.  Its
+        sample-count weights are computed *up front* from the selection
+        (``num_samples == len(spec.dataset)`` for every strategy built on
+        ``local_train``; enforced per result by :func:`consume_stream`)
+        because the reference reduction normalizes weights before the first
+        multiply-add.  Strategies that override :meth:`aggregate` without
+        providing their own streaming reduction fall back to materializing
+        the stream — correct, just not O(1).
+        """
+        if not selected:
+            raise ValueError("cannot aggregate an empty list of client results")
+        if type(self).aggregate is not Strategy.aggregate:
+            # The strategy customized the materialized reduction; preserve its
+            # semantics exactly rather than silently bypassing the override.
+            results = list(stream)
+            return self.aggregate(global_state, results, context), results
+        averager = StreamingAverager(
+            len(selected), [len(spec.dataset) for spec in selected])
+        results: List[ClientResult] = []
+        for result in consume_stream(selected, stream):
+            averager.add(result.state)
+            result.state = None
+            results.append(result)
+        return averager.finalize(), results
 
     def on_round_end(self, context: FLContext, results: List[ClientResult]) -> None:
         """Hook after aggregation; default updates the EMA loss tracker (Eq. 1)."""

@@ -14,10 +14,11 @@ Lipschitz constant.  The paper's appendix selects ``q = 1e-6``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ...data.partition import ClientSpec
 from ...nn.engine import current_engine
 from ...nn.serialization import (
     StateLayout,
@@ -28,7 +29,7 @@ from ...nn.serialization import (
     zeros_like_state,
 )
 from ..training import ClientResult
-from .base import FLContext, StateDict, Strategy, canonical_results
+from .base import FLContext, StateDict, Strategy, canonical_results, consume_stream
 
 __all__ = ["QFedAvg"]
 
@@ -51,9 +52,46 @@ class QFedAvg(Strategy):
     ) -> StateDict:
         if not results:
             raise ValueError("cannot aggregate an empty list of client results")
+        # Canonical order makes the floating-point reduction permutation-invariant.
+        new_state, _ = self._reduce(
+            global_state, canonical_results(results, context), context)
+        return new_state
+
+    def aggregate_stream(
+        self,
+        global_state: StateDict,
+        selected: Sequence[ClientSpec],
+        stream: Iterable[ClientResult],
+        context: FLContext,
+    ) -> Tuple[StateDict, List[ClientResult]]:
+        """Streaming q-FedAvg: one accumulator pass, O(1) in clients/round.
+
+        The q-FFL normalizer ``h_sum`` is applied once after the loop, so
+        unlike FedAvg's weight normalization nothing about the reduction
+        needs to be known up front — the materialized and streaming paths
+        share :meth:`_reduce` verbatim.
+        """
+        if not selected:
+            raise ValueError("cannot aggregate an empty list of client results")
+        return self._reduce(
+            global_state, consume_stream(selected, stream), context,
+            drop_states=True)
+
+    def _reduce(
+        self,
+        global_state: StateDict,
+        ordered: Iterable[ClientResult],
+        context: FLContext,
+        drop_states: bool = False,
+    ) -> Tuple[StateDict, List[ClientResult]]:
+        """The q-FFL server update over results in canonical order.
+
+        ``ordered`` may be a lazy stream: each result's state is folded into
+        the accumulator as it arrives (and released when ``drop_states``).
+        """
         lipschitz = 1.0 / context.config.learning_rate
         if current_engine() == "reference":
-            return self._aggregate_reference(global_state, results, context, lipschitz)
+            return self._reduce_reference(global_state, ordered, lipschitz, drop_states)
 
         # Flat reduction over (n_clients, P): every step below is the exact
         # whole-vector form of the dict-based reference (kept as the pinned
@@ -67,9 +105,12 @@ class QFedAvg(Strategy):
         weighted_delta_sum = np.zeros(layout.size, dtype=np.float64)
         delta_buf = np.empty(layout.size, dtype=np.float64)
         h_sum = 0.0
-        # Canonical order makes the floating-point reduction permutation-invariant.
-        for result in canonical_results(results, context):
+        consumed: List[ClientResult] = []
+        for result in ordered:
             layout.pack(result.state, out=delta_buf)
+            if drop_states:
+                result.state = None
+            consumed.append(result)
             delta = (global_vec - delta_buf) * lipschitz
             # Use the client's *initial* loss F_k (loss of the global model on the
             # client's data), as in the q-FFL formulation.
@@ -79,25 +120,29 @@ class QFedAvg(Strategy):
                                      for _, segment in layout.segments(delta))))
             delta_norm_sq = norm ** 2
             h_k = self.q * (loss ** (self.q - 1.0)) * delta_norm_sq + lipschitz * loss_pow_q
-            weighted_delta_sum = weighted_delta_sum + delta * loss_pow_q
+            weighted_delta_sum += delta * loss_pow_q
             h_sum += h_k
         if h_sum <= 0:
             raise RuntimeError("q-FedAvg aggregation produced a non-positive normalizer")
         update = weighted_delta_sum * (1.0 / h_sum)
-        return layout.unpack(global_vec - update)
+        return layout.unpack(global_vec - update), consumed
 
-    def _aggregate_reference(
+    def _reduce_reference(
         self,
         global_state: StateDict,
-        results: List[ClientResult],
-        context: FLContext,
+        ordered: Iterable[ClientResult],
         lipschitz: float,
-    ) -> StateDict:
+        drop_states: bool,
+    ) -> Tuple[StateDict, List[ClientResult]]:
         """The seed dict-based aggregation, kept as the pinned golden path."""
         weighted_delta_sum = zeros_like_state(global_state)
         h_sum = 0.0
-        for result in canonical_results(results, context):
+        consumed: List[ClientResult] = []
+        for result in ordered:
             delta = scale_state(subtract_states(global_state, result.state), lipschitz)
+            if drop_states:
+                result.state = None
+            consumed.append(result)
             loss = max(result.init_loss, 1e-10)
             loss_pow_q = loss ** self.q
             delta_norm_sq = state_norm(delta) ** 2
@@ -107,7 +152,7 @@ class QFedAvg(Strategy):
         if h_sum <= 0:
             raise RuntimeError("q-FedAvg aggregation produced a non-positive normalizer")
         update = scale_state(weighted_delta_sum, 1.0 / h_sum)
-        return subtract_states(global_state, update)
+        return subtract_states(global_state, update), consumed
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"QFedAvg(q={self.q})"

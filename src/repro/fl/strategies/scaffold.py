@@ -21,13 +21,14 @@ context mutations would otherwise be silently lost.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from ...data.partition import ClientSpec
 from ...nn.layers import Module
 from ...nn.serialization import (
+    StreamingAverager,
     add_states,
     average_states,
     scale_state,
@@ -35,7 +36,7 @@ from ...nn.serialization import (
     zeros_like_state,
 )
 from ..training import ClientResult, local_train
-from .base import FLContext, StateDict, Strategy, canonical_results
+from .base import FLContext, StateDict, Strategy, canonical_results, consume_stream
 
 __all__ = ["Scaffold"]
 
@@ -139,8 +140,59 @@ class Scaffold(Strategy):
         context.server_storage["scaffold_c"] = add_states(server_c, scale_state(mean_delta, fraction))
         return new_state
 
+    def aggregate_stream(
+        self,
+        global_state: StateDict,
+        selected: Sequence[ClientSpec],
+        stream: Iterable[ClientResult],
+        context: FLContext,
+    ) -> Tuple[StateDict, List[ClientResult]]:
+        """Streaming SCAFFOLD: fold weights *and* c-deltas in a single pass.
+
+        The materialized path runs two full passes (the sample-weighted
+        weight average, then the uniform c-delta average).  Interleaving them
+        per client leaves each accumulator's own multiply-add sequence
+        untouched, so the result is bitwise-identical with two accumulators
+        plus two pack buffers — O(1) in clients/round.
+
+        Each client's refreshed control variate is committed to the context
+        as its result streams in (instead of in ``on_round_end``); no reader
+        observes the storage between those two points — a round never selects
+        the same client twice, so a still-training client cannot see another
+        client's commit — and the metadata copies are released immediately,
+        keeping the per-round peak at the persistent-storage floor the
+        algorithm itself requires.
+        """
+        if not selected:
+            raise ValueError("cannot aggregate an empty list of client results")
+        state_avg = StreamingAverager(
+            len(selected), [len(spec.dataset) for spec in selected])
+        delta_avg = StreamingAverager(len(selected))
+        consumed: List[ClientResult] = []
+        for result in consume_stream(selected, stream):
+            state_avg.add(result.state)
+            result.state = None
+            delta_avg.add(result.metadata.pop("c_delta"))
+            context.storage_for(result.client_id)["c_i"] = \
+                result.metadata.pop("new_c_i")
+            consumed.append(result)
+        new_state = state_avg.finalize()
+        mean_delta = delta_avg.finalize()
+        server_c: StateDict = context.server_storage.get("scaffold_c")
+        if server_c is None:
+            server_c = zeros_like_state(mean_delta)
+        fraction = len(selected) / context.config.num_clients
+        context.server_storage["scaffold_c"] = add_states(
+            server_c, scale_state(mean_delta, fraction))
+        return new_state, consumed
+
     def on_round_end(self, context: FLContext, results: List[ClientResult]) -> None:
-        """Apply each client's refreshed control variate, then update the EMA."""
+        """Apply each client's refreshed control variate, then update the EMA.
+
+        Streaming rounds commit the variates (and drop them from metadata) in
+        :meth:`aggregate_stream`, so the pop below finds nothing and only the
+        EMA update runs.
+        """
         for result in results:
             new_c_i = result.metadata.pop("new_c_i", None)
             if new_c_i is not None:

@@ -37,6 +37,7 @@ __all__ = [
     "scale_state",
     "subtract_states",
     "average_states",
+    "StreamingAverager",
     "state_norm",
     "save_state",
     "load_state",
@@ -79,12 +80,28 @@ class StateLayout:
         self._template = dict.fromkeys(self.keys)
 
     def pack(self, state: StateDict, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Flatten ``state`` into one float64 vector in layout order."""
+        """Flatten ``state`` into one float64 vector in layout order.
+
+        Every entry must match the layout's recorded shape exactly.  A
+        same-size-but-wrong-shape entry (e.g. ``(1, 4)`` where the layout
+        records ``(4,)``) would flatten silently here while the dict-based
+        reference path broadcasts differently or raises — the flat and
+        reference engines must *refuse* malformed input identically rather
+        than diverge on it.
+        """
         _check_keys(self._template, state)
         if out is None:
             out = np.empty(self.size, dtype=np.float64)
-        for key, start, end in zip(self.keys, self.offsets[:-1], self.offsets[1:]):
-            out[start:end] = np.asarray(state[key], dtype=np.float64).reshape(-1)
+        for key, shape, start, end in zip(
+            self.keys, self.shapes, self.offsets[:-1], self.offsets[1:]
+        ):
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != shape:
+                raise ValueError(
+                    f"shape mismatch for '{key}': got {value.shape}, "
+                    f"layout records {shape}"
+                )
+            out[start:end] = value.reshape(-1)
         return out
 
     def unpack(self, vector: np.ndarray) -> StateDict:
@@ -185,41 +202,112 @@ def scale_state(state: StateDict, factor: float) -> StateDict:
     return {key: value * factor for key, value in state.items()}
 
 
+def _normalized_weights(weights: Iterable[float] | None, count: int) -> np.ndarray:
+    """Validate and normalize aggregation weights for ``count`` states.
+
+    Beyond requiring a positive total, every entry must be finite and
+    non-negative: a NaN weight slips past a ``total <= 0`` check (``nan <= 0``
+    is False) and silently poisons the whole average, and a negative
+    per-client weight (e.g. ``[-1, 2]``) can sum positive while flipping that
+    client's contribution sign.
+    """
+    if weights is None:
+        return np.full(count, 1.0 / count)
+    weights_arr = np.asarray(list(weights), dtype=np.float64)
+    if weights_arr.ndim != 1 or weights_arr.shape[0] != count:
+        raise ValueError("weights length must match number of states")
+    if not np.all(np.isfinite(weights_arr)):
+        raise ValueError(
+            f"weights must be finite, got {weights_arr.tolist()}"
+        )
+    if np.any(weights_arr < 0):
+        raise ValueError(
+            f"weights must be non-negative, got {weights_arr.tolist()}"
+        )
+    total = weights_arr.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return weights_arr / total
+
+
+class StreamingAverager:
+    """Weighted state average consuming one state at a time in O(1) memory.
+
+    The number of states (and their weights) must be known up front — the
+    reference reduction normalizes weights by their total *before* the first
+    multiply-add, so a one-pass streaming reduction can only replay its exact
+    float ops if the normalizer is available before the first state arrives.
+    Given that, :meth:`add` folds each state into a single accumulator (flat
+    engine: accumulator + one reused pack buffer; reference engine: one
+    per-key result dict), so peak memory is independent of how many states
+    are averaged — the property the fleet-scale execution path relies on.
+
+    Element-for-element both engines perform the same multiply-add sequence
+    as :func:`average_states` (states outermost, starting from zeros, weights
+    normalized up front), so streaming is bitwise-identical to materializing
+    the full list first.
+    """
+
+    def __init__(self, count: int, weights: Iterable[float] | None = None) -> None:
+        if count <= 0:
+            raise ValueError("cannot average an empty list of states")
+        self._weights = _normalized_weights(weights, count)
+        self._count = count
+        self._index = 0
+        self._reference = current_engine() == "reference"
+        self._result: Optional[StateDict] = None
+        self._layout: Optional[StateLayout] = None
+        self._accumulator: Optional[np.ndarray] = None
+        self._buffer: Optional[np.ndarray] = None
+
+    def add(self, state: StateDict) -> None:
+        """Fold the next state into the running average (in declared order)."""
+        if self._index >= self._count:
+            raise ValueError(f"received more states than the declared {self._count}")
+        weight = self._weights[self._index]
+        if self._reference:
+            # Seed path: per-key accumulation, clients outermost.
+            if self._result is None:
+                self._result = zeros_like_state(state)
+            _check_keys(self._result, state)
+            for key in self._result:
+                self._result[key] += weight * state[key]
+        else:
+            # Flat reduction: pack the state into the one reused buffer and
+            # accumulate over the whole vector.
+            if self._layout is None:
+                self._layout = StateLayout(state)
+                self._accumulator = np.zeros(self._layout.size, dtype=np.float64)
+                self._buffer = np.empty(self._layout.size, dtype=np.float64)
+            self._layout.pack(state, out=self._buffer)
+            self._accumulator += weight * self._buffer
+        self._index += 1
+
+    def finalize(self) -> StateDict:
+        """The average, once exactly ``count`` states have been folded in."""
+        if self._index != self._count:
+            raise ValueError(
+                f"expected {self._count} states, received {self._index}"
+            )
+        if self._reference:
+            return self._result
+        return self._layout.unpack(self._accumulator)
+
+
 def average_states(states: Sequence[StateDict], weights: Iterable[float] | None = None) -> StateDict:
-    """Weighted average of state dicts (the FedAvg aggregation primitive)."""
+    """Weighted average of state dicts (the FedAvg aggregation primitive).
+
+    Delegates to :class:`StreamingAverager`, so the materialized and
+    streaming reductions cannot drift: both run the identical multiply-add
+    sequence (clients outermost, weights normalized up front).
+    """
     states = list(states)
     if not states:
         raise ValueError("cannot average an empty list of states")
-    if weights is None:
-        weights_arr = np.full(len(states), 1.0 / len(states))
-    else:
-        weights_arr = np.asarray(list(weights), dtype=np.float64)
-        if weights_arr.shape[0] != len(states):
-            raise ValueError("weights length must match number of states")
-        total = weights_arr.sum()
-        if total <= 0:
-            raise ValueError("weights must sum to a positive value")
-        weights_arr = weights_arr / total
-    if current_engine() == "reference":
-        # Seed path: per-key accumulation, clients outermost.
-        result = zeros_like_state(states[0])
-        for weight, state in zip(weights_arr, states):
-            _check_keys(result, state)
-            for key in result:
-                result[key] += weight * state[key]
-        return result
-    # Flat reduction: pack each state once and accumulate client-by-client
-    # over the whole vector.  Element-for-element this is the same sequence of
-    # multiply-adds as the per-key reference loop (clients outermost, starting
-    # from zeros), so the average is bitwise-identical — just without
-    # ``n_clients * n_keys`` Python-level array ops.
-    layout = StateLayout(states[0])
-    accumulator = np.zeros(layout.size, dtype=np.float64)
-    buffer = np.empty(layout.size, dtype=np.float64)
-    for weight, state in zip(weights_arr, states):
-        layout.pack(state, out=buffer)
-        accumulator += weight * buffer
-    return layout.unpack(accumulator)
+    averager = StreamingAverager(len(states), weights)
+    for state in states:
+        averager.add(state)
+    return averager.finalize()
 
 
 def state_norm(state: StateDict) -> float:

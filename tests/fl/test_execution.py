@@ -132,7 +132,7 @@ class TestCrossBackendEquivalence:
 
 class TestExecutorRegistry:
     def test_backends_registered(self):
-        assert {"serial", "thread", "process"} <= set(EXECUTOR_REGISTRY)
+        assert {"serial", "thread", "process", "shm"} <= set(EXECUTOR_REGISTRY)
 
     def test_create_executor_types(self):
         assert isinstance(create_executor("serial"), SerialExecutor)
@@ -209,6 +209,83 @@ class TestPermutationInvariance:
         strategy, _, results, context = make_round_results("fedavg")
         ordered = canonical_results(list(reversed(results)), context)
         assert [r.client_id for r in ordered] == context.round_selection
+
+
+class _FailFastStrategy:
+    """FedAvg whose designated client raises; the rest sleep then record."""
+
+    def __init__(self, fail_client, delay=0.05):
+        self._inner = create_strategy("fedavg")
+        self.fail_client = fail_client
+        self.delay = delay
+        self.trained = []
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def client_update(self, model, spec, global_state, context):
+        import time
+
+        if spec.client_id == self.fail_client:
+            raise RuntimeError("boom: synthetic client failure")
+        time.sleep(self.delay)
+        self.trained.append(spec.client_id)
+        return self._inner.client_update(model, spec, global_state, context)
+
+
+class TestRoundFailFast:
+    """A failing client must abort the round instead of training the rest."""
+
+    def _make_round(self, num_clients=8):
+        from repro.data.dataset import ArrayDataset
+        from repro.data.partition import ClientSpec
+        from repro.nn.models import SimpleMLP
+
+        rng = np.random.default_rng(0)
+        specs = []
+        for client_id in range(num_clients):
+            features = np.clip(rng.random((4, 3, 4, 4)), 0, 1)
+            labels = (features.reshape(4, -1)[:, 0] > 0.5).astype(int)
+            specs.append(ClientSpec(client_id=client_id, device="S6",
+                                    dataset=ArrayDataset(features, labels)))
+        config = FLConfig(num_clients=num_clients, clients_per_round=num_clients,
+                          num_rounds=1, batch_size=4, learning_rate=0.05, seed=0)
+        context = FLContext(config=config, ema=EMALossTracker())
+        context.round_selection = [spec.client_id for spec in specs]
+
+        def model_fn():
+            return SimpleMLP(3 * 4 * 4, 2, hidden=8, seed=0)
+
+        return specs, model_fn, context
+
+    def test_thread_cancels_pending_on_failure(self):
+        """With one worker and the first client failing, the cancellation must
+        keep (nearly) all later clients from ever starting — before the fix,
+        every one of them trained to completion and was then discarded."""
+        specs, model_fn, context = self._make_round()
+        strategy = _FailFastStrategy(fail_client=specs[0].client_id)
+        global_state = get_weights(model_fn())
+        with create_executor("thread", max_workers=1) as executor:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.run_round(strategy, model_fn, specs, global_state, context)
+            # At most the one job the worker raced into before cancel landed.
+            assert len(strategy.trained) <= 1
+            # The pool drained cleanly and stays usable.
+            results = executor.run_round(create_strategy("fedavg"), model_fn,
+                                         specs, global_state, context)
+            assert [r.client_id for r in results] == [s.client_id for s in specs]
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_failure_propagates_and_pool_reusable(self, backend):
+        specs, model_fn, context = self._make_round(num_clients=4)
+        strategy = _FailFastStrategy(fail_client=specs[1].client_id, delay=0.0)
+        global_state = get_weights(model_fn())
+        with create_executor(backend, max_workers=2) as executor:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.run_round(strategy, model_fn, specs, global_state, context)
+            results = executor.run_round(create_strategy("fedavg"), model_fn,
+                                         specs, global_state, context)
+            assert [r.client_id for r in results] == [s.client_id for s in specs]
 
 
 class _EntropyConsumer(Callback):

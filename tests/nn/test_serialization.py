@@ -5,9 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.nn.engine import engine_mode
 from repro.nn.layers import Linear, Sequential, ReLU
 from repro.nn.models import MODEL_REGISTRY, create_model
 from repro.nn.serialization import (
+    StateLayout,
+    StreamingAverager,
     add_states,
     average_states,
     clone_state,
@@ -138,6 +141,34 @@ class TestAverageStates:
         with pytest.raises(ValueError):
             average_states([{"w": np.zeros(1)}, {"w": np.ones(1)}], [0, 0])
 
+    def test_nan_weight_rejected(self):
+        """Regression: NaN weights used to sail past the ``total <= 0`` check
+        (``nan <= 0`` is False) and silently poison every averaged weight."""
+        states = [{"w": np.zeros(1)}, {"w": np.ones(1)}]
+        with pytest.raises(ValueError, match="finite"):
+            average_states(states, [np.nan, 1.0])
+
+    def test_infinite_weight_rejected(self):
+        states = [{"w": np.zeros(1)}, {"w": np.ones(1)}]
+        with pytest.raises(ValueError, match="finite"):
+            average_states(states, [np.inf, 1.0])
+
+    def test_negative_weight_rejected(self):
+        """Regression: weights like [-1, 3] summed positive and passed the old
+        guard, producing an 'average' outside the convex hull of the states."""
+        states = [{"w": np.zeros(1)}, {"w": np.ones(1)}]
+        with pytest.raises(ValueError, match="non-negative"):
+            average_states(states, [-1.0, 3.0])
+
+    @pytest.mark.parametrize("engine", ["flat", "reference"])
+    def test_weight_validation_parity_across_engines(self, engine):
+        """Both engines refuse the same bad weights with the same error type."""
+        states = [{"w": np.zeros(1)}, {"w": np.ones(1)}]
+        with engine_mode(engine):
+            for bad in ([np.nan, 1.0], [-1.0, 3.0], [0.0, 0.0], [1.0]):
+                with pytest.raises(ValueError):
+                    average_states(states, bad)
+
     @given(st.lists(st.floats(-100, 100), min_size=2, max_size=6))
     @settings(max_examples=30, deadline=None)
     def test_average_between_min_and_max(self, values):
@@ -152,6 +183,67 @@ class TestAverageStates:
         state = {"w": np.asarray(values)}
         avg = average_states([state, state, state], [weight, weight, weight])
         np.testing.assert_allclose(avg["w"], state["w"], atol=1e-9)
+
+
+class TestStateLayoutValidation:
+    def test_pack_rejects_same_size_wrong_shape(self):
+        """Regression: pack() used to reshape(-1) blindly, so a transposed
+        (same-size) array flattened in the wrong element order and silently
+        corrupted the flat reduction."""
+        layout = StateLayout({"w": np.zeros((2, 3))})
+        with pytest.raises(ValueError, match="shape mismatch"):
+            layout.pack({"w": np.zeros((3, 2))})
+
+    def test_pack_accepts_recorded_shape(self):
+        layout = StateLayout({"w": np.arange(6.0).reshape(2, 3)})
+        vector = layout.pack({"w": np.arange(6.0).reshape(2, 3)})
+        np.testing.assert_array_equal(vector, np.arange(6.0))
+
+    @pytest.mark.parametrize("engine", ["flat", "reference"])
+    def test_refusal_parity_with_reference(self, engine):
+        """Flat (layout-packed) and reference (dict-op) averaging refuse the
+        same shape-mismatched input — neither silently mis-reduces."""
+        good = {"w": np.zeros((2, 3))}
+        bad = {"w": np.ones((3, 2))}
+        with engine_mode(engine):
+            with pytest.raises(ValueError):
+                average_states([good, bad])
+
+
+class TestStreamingAverager:
+    def _states(self, count, size=5):
+        rng = np.random.default_rng(42)
+        return [{"w": rng.normal(size=size), "b": rng.normal(size=(2, 2))}
+                for _ in range(count)]
+
+    @pytest.mark.parametrize("engine", ["flat", "reference"])
+    @pytest.mark.parametrize("weights", [None, [1, 2, 3, 4]])
+    def test_bitwise_matches_average_states(self, engine, weights):
+        states = self._states(4)
+        with engine_mode(engine):
+            expected = average_states(states, weights)
+            averager = StreamingAverager(len(states), weights)
+            for state in states:
+                averager.add(state)
+            assert states_equal(averager.finalize(), expected)
+
+    def test_too_many_states_rejected(self):
+        averager = StreamingAverager(1)
+        averager.add({"w": np.zeros(2)})
+        with pytest.raises(ValueError):
+            averager.add({"w": np.zeros(2)})
+
+    def test_finalize_before_complete_rejected(self):
+        averager = StreamingAverager(2)
+        averager.add({"w": np.zeros(2)})
+        with pytest.raises(ValueError, match="expected 2"):
+            averager.finalize()
+
+    def test_weight_validation_up_front(self):
+        with pytest.raises(ValueError, match="finite"):
+            StreamingAverager(2, [np.nan, 1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            StreamingAverager(2, [-1.0, 2.0])
 
 
 class TestCloneState:
