@@ -26,6 +26,7 @@ from repro.fl.config import FLConfig
 from repro.fl.simulation import FederatedSimulation
 from repro.fl.strategies import create_strategy
 from repro.nn.serialization import state_fingerprint
+from repro.obs import summarize_trace
 
 # The Table 4 rows, in the paper's order.
 STRATEGIES = ("fedavg", "isp_transform", "isp_swad", "heteroswitch",
@@ -66,6 +67,26 @@ def _run_engine(strategy_name, engine, bundle, clients, factory, scale):
     sim.run()
     per_round = sum(timer.durations) / len(timer.durations)
     return per_round, state_fingerprint(sim.global_state)
+
+
+def _profile_kernels(strategy_name, bundle, clients, factory, scale):
+    """One profiled run: per-kernel ``{name: {calls, seconds}}`` totals."""
+    config = FLConfig(
+        num_clients=scale.num_clients,
+        clients_per_round=min(CLIENTS_PER_ROUND, scale.num_clients),
+        num_rounds=1,
+        local_epochs=scale.local_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        seed=0,
+        train_engine="flat",
+        profile=True,
+        trace=True,
+    )
+    sim = FederatedSimulation(factory, clients, bundle.test,
+                              create_strategy(strategy_name), config)
+    sim.run()
+    return summarize_trace(sim.tracer)["kernels"]
 
 
 def _train_throughput(scale) -> ExperimentResult:
@@ -110,6 +131,20 @@ def _train_throughput(scale) -> ExperimentResult:
                  f"{total_flat * 1e3:.1f}", f"{speedup_overall:.2f}"])
     scalars["speedup_overall"] = speedup_overall
 
+    # ROADMAP item 3: where does a round actually go?  One profiled
+    # heteroswitch run under the flat engine; repro.obs times every engine
+    # kernel (im2col, col2im, fused linear/BN/CE, optimizer steps) and the
+    # totals land in the recorded table alongside the throughput numbers.
+    kernel_breakdown = _profile_kernels("heteroswitch", bundle, clients,
+                                        factory, scale)
+    kernel_total = sum(entry["seconds"] for entry in kernel_breakdown.values())
+    for name, entry in sorted(kernel_breakdown.items(),
+                              key=lambda kv: -kv[1]["seconds"]):
+        share = entry["seconds"] / kernel_total if kernel_total else 0.0
+        rows.append([f"kernel/{name} ({entry['calls']} calls)",
+                     "-", f"{entry['seconds'] * 1e3:.1f}", f"{share:.2f}"])
+        scalars[f"kernel_{name}_s"] = entry["seconds"]
+
     # CI gate: the flat engine must never be slower than the seed path.  The
     # aggregate margin is kept below the locally-recorded ~1.7x so the gate
     # fails on real regressions, not on runner noise.
@@ -125,14 +160,17 @@ def _train_throughput(scale) -> ExperimentResult:
             "per-parameter path (train_engine='reference') vs the flat-"
             "parameter engine (train_engine='flat').  Final weights are "
             "asserted bitwise-identical per strategy before timing is "
-            "reported."
+            "reported.  The kernel/* rows break one profiled heteroswitch "
+            "round down by engine kernel (flat column = total ms, speedup "
+            "column = share of kernel time)."
         ),
         headers=["strategy", "reference_ms_per_round", "flat_ms_per_round",
                  "speedup"],
         rows=rows,
         scalars=scalars,
         metadata={"scale": scale.name, "model": "mobilenetv3_small",
-                  "rounds": TRAIN_ROUNDS, "clients_per_round": CLIENTS_PER_ROUND},
+                  "rounds": TRAIN_ROUNDS, "clients_per_round": CLIENTS_PER_ROUND,
+                  "kernel_breakdown": kernel_breakdown},
     )
 
 

@@ -133,6 +133,22 @@ def main() -> None:
         print("Resume returned the stored result:",
               resumed.history.per_device_metric == entry.load_result()["metrics"])
 
+    # ------------------------------------------------------------------ #
+    # Bonus: observability.  config_overrides={"trace": True} records a
+    # run-level trace (capture, every client update, aggregation, eval);
+    # "profile": True adds per-kernel engine timings inside each client
+    # update (disabled, the hook costs <5% — one attribute read per kernel
+    # call).  A stored traced run exports trace.json (open it in Perfetto /
+    # chrome://tracing), events.jsonl and obs_summary.json into its store
+    # entry, and the CLI has the same as `bench --trace/--profile` plus
+    # `python -m repro trace RUN_ID`.  Tracing is result-neutral: the
+    # fingerprint above would come out identical with it on.
+    traced = spec.with_overrides(
+        config_overrides={**spec.config_overrides, "trace": True, "profile": True})
+    print(f"\nTraced variant: config_overrides[trace/profile]="
+          f"{traced.config_overrides['trace']}/{traced.config_overrides['profile']}"
+          f" (same numbers, plus trace artifacts in the run store)")
+
 
 if __name__ == "__main__":
     main()

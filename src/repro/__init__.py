@@ -14,9 +14,11 @@ Taming System-Induced Data Heterogeneity in Federated Learning" (MLSys 2024):
   composable experiment Runner.
 * :mod:`repro.store`   — persistent run store: crash-safe checkpoints and
   bit-identical resume.
+* :mod:`repro.obs`     — observability: tracing, metrics and per-kernel
+  profiling that never perturb results.
 * :mod:`repro.eval`    — experiment runners that regenerate every table/figure.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

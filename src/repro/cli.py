@@ -18,8 +18,11 @@ grid and multiple seeds and reports mean ± std summaries.  Both accept
 training out over a worker pool — results are bit-identical across backends,
 only the wall clock changes — plus ``--store DIR``, ``--checkpoint-every N``
 and ``--resume`` for durable, crash-safe runs: a killed bench/sweep resumes
-from its newest checkpoints with bitwise-identical final results.  ``runs
-list`` / ``runs show RUN_ID`` inspect a store.
+from its newest checkpoints with bitwise-identical final results.  ``--trace``
+records a run-level trace (``--profile`` adds per-kernel timings) exported
+into the run's store entry — results stay bit-identical.  ``runs list`` /
+``runs show RUN_ID`` inspect a store; ``trace RUN_ID`` summarizes a stored
+run's trace.
 """
 
 from __future__ import annotations
@@ -131,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("run_id", help="run id as printed by 'runs list'")
     runs_show.add_argument("--store", default="runs",
                            help="run-store directory (default: runs)")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a stored run's trace (phases, kernels, artifacts)")
+    trace_parser.add_argument("run_id", help="run id as printed by 'runs list'")
+    trace_parser.add_argument("--store", default="runs",
+                              help="run-store directory (default: runs)")
+    trace_parser.add_argument("--top", type=int, default=10, metavar="K",
+                              help="show the K most expensive kernels (default: 10)")
     return parser
 
 
@@ -175,6 +186,15 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="skip seeds already completed in the store and "
                              "continue partial seeds from their newest checkpoint")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a run-level trace (spans for capture, rounds, "
+                             "client updates, aggregation, eval) and export it into "
+                             "the run's store entry as Chrome trace_event JSON + "
+                             "JSONL; results stay bit-identical")
+    parser.add_argument("--profile", action="store_true",
+                        help="additionally time engine kernels (im2col, linear, "
+                             "batch-norm, ...) inside every client update; implies "
+                             "--trace")
 
 
 class SpecError(Exception):
@@ -182,9 +202,14 @@ class SpecError(Exception):
 
 
 def _build_runner(args: argparse.Namespace) -> Runner:
-    """Runner for bench/sweep, with a store when durability flags ask for one."""
+    """Runner for bench/sweep, with a store when durability flags ask for one.
+
+    ``--trace``/``--profile`` also imply a store: the exported trace artifacts
+    live in the run's store entry.
+    """
     store = args.store
-    if store is None and (args.checkpoint_every is not None or args.resume):
+    if store is None and (args.checkpoint_every is not None or args.resume
+                          or args.trace or args.profile):
         store = "runs"
     try:
         return Runner(store=store, checkpoint_every=args.checkpoint_every)
@@ -229,8 +254,15 @@ def _apply_spec_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
                 "add --executor thread|process|shm (or set executor in the spec)"
             )
         overrides["max_workers"] = args.workers
+    config_overrides = dict(spec.config_overrides)
     if args.rounds is not None:
-        overrides["config_overrides"] = {**spec.config_overrides, "num_rounds": args.rounds}
+        config_overrides["num_rounds"] = args.rounds
+    if args.profile:
+        config_overrides["profile"] = True
+    if args.trace or args.profile:
+        config_overrides["trace"] = True
+    if config_overrides != spec.config_overrides:
+        overrides["config_overrides"] = config_overrides
     if args.capture_cache is not None:
         dataset = overrides.get("dataset", spec.dataset)
         builder = DATASET_REGISTRY[dataset]
@@ -314,6 +346,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _emit(result, args.output)
         if runner.store is not None:
             print(f"\n[run store: {runner.store.root}]")
+            _print_trace_paths(runner.store, spec)
         print(f"\n[bench '{spec.label}' completed in {elapsed:.1f}s "
               f"over {len(spec.seeds)} seed(s)]")
         return 0
@@ -358,8 +391,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "runs":
         return _runs_command(args)
 
+    if args.command == "trace":
+        return _trace_command(args)
+
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def _print_trace_paths(store: RunStore, spec: RunSpec) -> None:
+    """After a traced bench, point at the exported artifacts per seed."""
+    for seed in spec.seeds:
+        entry_path = store.root / store.run_id(spec, seed)
+        trace = entry_path / "trace.json"
+        if trace.exists():
+            print(f"[trace (seed {seed}): {trace} — load in Perfetto / "
+                  f"chrome://tracing; 'repro trace {entry_path.name}' for a summary]")
+
+
+def _print_obs_summary(summary: dict, top: int = 10) -> None:
+    """Render an obs_summary.json payload: phases, kernels, client updates."""
+    wall = float(summary.get("wall_seconds", 0.0))
+    print(f"traced wall clock: {wall:.3f} s")
+    phases = summary.get("phases", {})
+    if phases:
+        rows = [[name, f"{info['seconds']:.3f}",
+                 f"{100.0 * info['seconds'] / wall:.1f}%" if wall > 0 else "-",
+                 info["count"]]
+                for name, info in sorted(phases.items())]
+        print(format_table(["phase", "seconds", "share", "spans"], rows))
+    updates = summary.get("client_updates", {})
+    if updates.get("count"):
+        print(f"client updates: {updates['count']} "
+              f"(total {updates['seconds']:.3f} s, "
+              f"mean {updates['seconds'] / updates['count']:.4f} s)")
+    kernels = summary.get("kernels", {})
+    if kernels:
+        ranked = sorted(kernels.items(), key=lambda kv: -kv[1]["seconds"])[:top]
+        rows = [[name, info["calls"], f"{info['seconds']:.3f}",
+                 f"{1e3 * info['seconds'] / info['calls']:.3f}"]
+                for name, info in ranked]
+        print(f"kernels (top {len(ranked)} by total time):")
+        print(format_table(["kernel", "calls", "seconds", "ms/call"], rows))
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    """Implement ``trace RUN_ID``: summarize a stored run's trace artifacts."""
+    store = RunStore(args.store)
+    try:
+        entry = store.get(args.run_id)
+    except RunStoreError as exc:
+        print(f"error: {_message(exc)}", file=sys.stderr)
+        return 2
+    if not entry.obs_summary_path.exists():
+        print(f"error: run '{args.run_id}' has no trace artifacts; re-run it "
+              f"with --trace or --profile", file=sys.stderr)
+        return 2
+    summary = json.loads(entry.obs_summary_path.read_text(encoding="utf-8"))
+    print(f"run: {entry.run_id}")
+    _print_obs_summary(summary, top=args.top)
+    for label, path in (("chrome trace", entry.trace_path),
+                        ("event log", entry.events_path),
+                        ("summary", entry.obs_summary_path)):
+        if path.exists():
+            print(f"{label}: {path}")
+    return 0
 
 
 def _runs_command(args: argparse.Namespace) -> int:
@@ -422,6 +517,10 @@ def _runs_command(args: argparse.Namespace) -> int:
                   f"max {meta.get('max_staleness', 0)}")
         print(format_table(["device", "metric"],
                            sorted(result["metrics"].items())))
+    if entry.obs_summary_path.exists():
+        print("trace:")
+        summary = json.loads(entry.obs_summary_path.read_text(encoding="utf-8"))
+        _print_obs_summary(summary)
     return 0
 
 

@@ -32,6 +32,7 @@ bit-identical commits (see ``tests/fl/test_async_sim.py``).
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Union
 
@@ -43,6 +44,7 @@ from ...data.partition import ClientSpec
 from ...devices.latency import DeviceLatencyModel, LatencyRegime, build_latency_models
 from ...nn.layers import Module
 from ...nn.serialization import StateLayout, get_weights, set_weights
+from ...obs import MetricsRegistry, Tracer, merge_client_spans
 from ..callbacks import Callback, CallbackList, PeriodicEvaluation, SwitchTelemetry
 from ..config import FLConfig
 from ..execution import ClientExecutor, create_executor
@@ -159,6 +161,14 @@ class AsyncTelemetry(Callback):
     telemetry for the resumed segment only (commit/staleness statistics, which
     must match the uninterrupted run, are derived from the history records by
     the simulation itself and are unaffected).
+
+    All counting lives in a :class:`repro.obs.MetricsRegistry` — labeled
+    ``dispatches``/``completions``/``busy_seconds`` series per client plus a
+    ``churn`` series per event kind — and the ``telemetry`` metadata block is
+    reassembled from the registry at run end, byte-for-byte as before: the
+    per-client float sums accumulate in the same event order, and the busy
+    total sums the per-client series in first-completion (registration)
+    order, exactly like the former dict-of-floats.
     """
 
     name = "async_telemetry"
@@ -167,13 +177,8 @@ class AsyncTelemetry(Callback):
         self._reset()
 
     def _reset(self) -> None:
-        self.dispatches: Dict[int, int] = {}
-        self.completions: Dict[int, int] = {}
-        self.busy_seconds: Dict[int, float] = {}
+        self.metrics = MetricsRegistry()
         self._started: Dict[int, float] = {}
-        self.dropouts = 0
-        self.rejoins = 0
-        self.lost = 0
 
     def on_run_start(self, sim, history) -> None:
         self._reset()
@@ -182,32 +187,34 @@ class AsyncTelemetry(Callback):
         kind = info["kind"]
         cid = int(info.get("client_id", -1))
         if kind == "dispatch":
-            self.dispatches[cid] = self.dispatches.get(cid, 0) + 1
+            self.metrics.counter("dispatches", client=cid).inc()
             self._started[cid] = float(info["time"])
         elif kind == "completion":
-            self.completions[cid] = self.completions.get(cid, 0) + 1
+            self.metrics.counter("completions", client=cid).inc()
             start = self._started.pop(cid, None)
             if start is not None:
-                self.busy_seconds[cid] = (self.busy_seconds.get(cid, 0.0)
-                                          + float(info["time"]) - start)
-        elif kind == "lost":
-            self.lost += 1
-        elif kind == "dropout":
-            self.dropouts += 1
-        elif kind == "rejoin":
-            self.rejoins += 1
+                self.metrics.counter("busy_seconds", client=cid).add(
+                    float(info["time"]) - start)
+        elif kind in ("lost", "dropout", "rejoin"):
+            self.metrics.counter("churn", kind=str(kind)).inc()
 
     def on_run_end(self, sim, history) -> None:
         virtual = max((r.time for r in history.rounds), default=0.0)
         capacity = virtual * getattr(sim, "concurrency", 1)
-        busy = sum(self.busy_seconds.values())
+        busy = sum(c.value for c in self.metrics.series("busy_seconds"))
+        completions = {int(c.labels["client"]): int(c.value)
+                       for c in self.metrics.series("completions")}
+        dispatches = {int(c.labels["client"]): int(c.value)
+                      for c in self.metrics.series("dispatches")}
+        churn = {c.labels["kind"]: int(c.value)
+                 for c in self.metrics.series("churn")}
         history.metadata["telemetry"] = {
-            "participation": {int(c): int(n) for c, n in sorted(self.completions.items())},
-            "dispatches": {int(c): int(n) for c, n in sorted(self.dispatches.items())},
+            "participation": {c: n for c, n in sorted(completions.items())},
+            "dispatches": {c: n for c, n in sorted(dispatches.items())},
             "utilisation": float(busy / capacity) if capacity > 0 else 0.0,
-            "dropouts": int(self.dropouts),
-            "rejoins": int(self.rejoins),
-            "updates_lost": int(self.lost),
+            "dropouts": churn.get("dropout", 0),
+            "rejoins": churn.get("rejoin", 0),
+            "updates_lost": churn.get("lost", 0),
         }
 
 
@@ -310,6 +317,10 @@ class AsyncFederatedSimulation:
         self._active_callbacks: Optional[CallbackList] = None
         self._stop_requested = False
         self._resume: Optional[AsyncFLHistory] = None
+        # Run-level trace collector (repro.obs); attached externally or
+        # auto-created by run().  Purely observational.  run() registers the
+        # virtual clock so every span/instant also carries simulated time.
+        self.tracer: Optional[Tracer] = None
         self._init_clock_state()
 
     def _init_clock_state(self) -> None:
@@ -377,6 +388,11 @@ class AsyncFederatedSimulation:
 
     # -- event emission -------------------------------------------------- #
     def _emit(self, kind: str, **extra) -> None:
+        if self.tracer is not None:
+            # Virtual-clock occurrences land in the trace as instants; the
+            # registered virtual clock stamps them with simulated time too.
+            self.tracer.instant(kind, **{k: v for k, v in extra.items()
+                                         if not isinstance(v, (list, dict))})
         if self._active_callbacks is not None:
             self._active_callbacks.on_event(self, {"kind": kind, "time": self._clock, **extra})
 
@@ -462,9 +478,15 @@ class AsyncFederatedSimulation:
             self.context.round_index = batch_id
             self.context.round_selection = [job.client_id for job in jobs]
             broadcast = self._layout.unpack(batch["vec"])
-            results = self._executor.run_round(
-                self.strategy, self.model_fn, specs, broadcast, self.context
-            )
+            tracer = self.tracer
+            with (tracer.span("flush_batch", batch=batch_id, jobs=len(specs))
+                  if tracer is not None else nullcontext()) as flush_span:
+                results = self._executor.run_round(
+                    self.strategy, self.model_fn, specs, broadcast, self.context
+                )
+            if tracer is not None:
+                merge_client_spans(tracer, flush_span.start, results,
+                                   {spec.client_id: spec.device for spec in specs})
             for job, result in zip(jobs, results):
                 vec = self._layout.pack(result.state)
                 result.state = {}  # the packed vector is the payload now
@@ -568,11 +590,13 @@ class AsyncFederatedSimulation:
     # -- evaluation -------------------------------------------------------- #
     def evaluate(self) -> Dict[str, float]:
         """Evaluate the current global model on every per-device test set."""
-        model = self.global_model()
-        metrics = {
-            device: evaluate_metric(model, dataset, self.config.task)
-            for device, dataset in self.test_sets.items()
-        }
+        with (self.tracer.span("evaluate", devices=len(self.test_sets))
+              if self.tracer is not None else nullcontext()):
+            model = self.global_model()
+            metrics = {
+                device: evaluate_metric(model, dataset, self.config.task)
+                for device, dataset in self.test_sets.items()
+            }
         if self._active_callbacks is not None:
             self._active_callbacks.on_evaluate(self, self._version, metrics)
         return metrics
@@ -724,6 +748,14 @@ class AsyncFederatedSimulation:
         else:
             history = AsyncFLHistory(strategy=self.strategy.name)
         callbacks = CallbackList([*self._default_callbacks(), *self.callbacks])
+        if self.tracer is None and (self.config.trace or self.config.profile):
+            self.tracer = Tracer()
+        if self.tracer is not None:
+            self.tracer.set_virtual_clock(lambda: self._clock)
+            if self._version > 0 or self._clock > 0.0:
+                # Earlier commits ran in another process; annotate the gap so
+                # a resumed run's trace is well-formed.
+                self.tracer.instant("resume_gap", version=self._version)
         self._history = history
         self._active_callbacks = callbacks
         self._stop_requested = False

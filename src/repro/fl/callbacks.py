@@ -82,7 +82,13 @@ class Callback:
 
 
 class CallbackList(Callback):
-    """Dispatches every hook to an ordered list of callbacks."""
+    """Dispatches every hook to an ordered list of callbacks.
+
+    Every callback sees every hook: an exception in one callback no longer
+    skips the rest of the list (telemetry keeps counting even if, say, a
+    checkpoint write fails).  The *first* exception is re-raised after the
+    remaining callbacks ran, so failures still propagate to the loop.
+    """
 
     def __init__(self, callbacks: Optional[Iterable[Callback]] = None) -> None:
         self.callbacks: List[Callback] = list(callbacks or [])
@@ -90,29 +96,34 @@ class CallbackList(Callback):
     def append(self, callback: Callback) -> None:
         self.callbacks.append(callback)
 
-    def on_run_start(self, sim, history) -> None:
+    def _dispatch(self, hook: str, *args) -> None:
+        first_error: Optional[BaseException] = None
         for callback in self.callbacks:
-            callback.on_run_start(sim, history)
+            try:
+                getattr(callback, hook)(*args)
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def on_run_start(self, sim, history) -> None:
+        self._dispatch("on_run_start", sim, history)
 
     def on_round_start(self, sim, round_index) -> None:
-        for callback in self.callbacks:
-            callback.on_round_start(sim, round_index)
+        self._dispatch("on_round_start", sim, round_index)
 
     def on_round_end(self, sim, record, results) -> None:
-        for callback in self.callbacks:
-            callback.on_round_end(sim, record, results)
+        self._dispatch("on_round_end", sim, record, results)
 
     def on_event(self, sim, info) -> None:
-        for callback in self.callbacks:
-            callback.on_event(sim, info)
+        self._dispatch("on_event", sim, info)
 
     def on_evaluate(self, sim, round_index, metrics) -> None:
-        for callback in self.callbacks:
-            callback.on_evaluate(sim, round_index, metrics)
+        self._dispatch("on_evaluate", sim, round_index, metrics)
 
     def on_run_end(self, sim, history) -> None:
-        for callback in self.callbacks:
-            callback.on_run_end(sim, history)
+        self._dispatch("on_run_end", sim, history)
 
 
 class SwitchTelemetry(Callback):
@@ -121,14 +132,25 @@ class SwitchTelemetry(Callback):
     This is the bookkeeping the simulation loop used to hard-code: it reads
     each client result's ``metadata["switch"]`` decision and records how many
     clients applied the ISP transform (switch 1) and SWAD (switch 2).
+
+    Counting runs through a :class:`repro.obs.MetricsRegistry` (labeled
+    ``switches`` counters, one series per switch kind); the history outputs
+    — per-round record fields and run totals — are unchanged.
     """
 
     name = "switch_telemetry"
+
+    def __init__(self) -> None:
+        from ..obs import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
 
     def on_round_end(self, sim, record, results) -> None:
         switch_info = [result.metadata.get("switch") for result in results]
         record.num_switch1 = sum(1 for s in switch_info if s is not None and s.switch1)
         record.num_switch2 = sum(1 for s in switch_info if s is not None and s.switch2)
+        self.metrics.counter("switches", kind="switch1").inc(record.num_switch1)
+        self.metrics.counter("switches", kind="switch2").inc(record.num_switch2)
 
     def on_run_end(self, sim, history) -> None:
         # Derive totals from the round records rather than the instance

@@ -40,6 +40,14 @@ class FLConfig:
     # (tests/fl/test_train_engine.py); "reference" exists as the golden
     # baseline for equivalence tests and the training-throughput benchmark.
     train_engine: str = "flat"
+    # Observability (repro.obs).  Both flags are purely observational and
+    # result-neutral: they never perturb training results, fingerprints, or
+    # the spec hash (store._RESULT_NEUTRAL_CONFIG_OVERRIDES).  ``trace``
+    # records run-level spans (capture / client updates / aggregate / eval);
+    # ``profile`` additionally enables the per-kernel timers in the engine
+    # hot paths and implies trace collection.
+    profile: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -59,3 +67,7 @@ class FLConfig:
         if not 0.0 < self.ema_alpha <= 1.0:
             raise ValueError("ema_alpha must be in (0, 1]")
         validate_engine(self.train_engine)
+        if not isinstance(self.profile, bool):
+            raise ValueError("profile must be a bool")
+        if not isinstance(self.trace, bool):
+            raise ValueError("trace must be a bool")

@@ -46,6 +46,7 @@ import os
 import queue as queue_module
 import sys
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
 from concurrent.futures import wait as _futures_wait
@@ -56,6 +57,7 @@ import numpy as np
 from ..data.partition import ClientSpec
 from ..nn.engine import engine_mode
 from ..nn.serialization import StateLayout, clone_state
+from ..obs.profiling import PROFILER
 from ..registry import Registry
 from .training import ClientResult
 
@@ -130,10 +132,43 @@ def run_client(
     HeteroSwitch's bias measurement — runs under the config's training engine
     (``flat`` or ``reference``); the mode is thread-local, so concurrent
     clients on different engines cannot interfere.
+
+    When the config asks for observability (``trace``/``profile``), the
+    update is wall-clock timed — and, under ``profile``, run with the kernel
+    timers active — and a compact scalar payload is packed into
+    ``result.metadata["obs"]``.  Metadata already rides the result path of
+    every backend (including the shm result queue), so this is the single
+    cross-process collection point; the server merges the payloads into the
+    run-level trace.  Purely observational: the training computation is
+    identical with and without it.
     """
-    with engine_mode(getattr(context.config, "train_engine", "flat")):
-        result = strategy.client_update(model, spec, global_state, context)
+    config = context.config
+    profile = bool(getattr(config, "profile", False))
+    if not (profile or getattr(config, "trace", False)):
+        with engine_mode(getattr(config, "train_engine", "flat")):
+            result = strategy.client_update(model, spec, global_state, context)
+        result.client_id = spec.client_id
+        return result
+    start = time.perf_counter()
+    with engine_mode(getattr(config, "train_engine", "flat")):
+        if profile:
+            PROFILER.drain()  # drop residue from a previously aborted client
+            PROFILER.activate()
+            try:
+                result = strategy.client_update(model, spec, global_state, context)
+            finally:
+                PROFILER.deactivate()
+            kernels = PROFILER.drain()
+        else:
+            result = strategy.client_update(model, spec, global_state, context)
+            kernels = {}
+    duration = time.perf_counter() - start
     result.client_id = spec.client_id
+    result.metadata["obs"] = {
+        "duration": float(duration),
+        "kernels": {name: [int(calls), float(seconds)]
+                    for name, (calls, seconds) in sorted(kernels.items())},
+    }
     return result
 
 

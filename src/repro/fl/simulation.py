@@ -23,6 +23,7 @@ order (see :mod:`repro.fl.execution` for the full determinism contract).
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,7 @@ from ..data.partition import ClientSpec
 from ..nn.engine import engine_mode
 from ..nn.layers import Module
 from ..nn.serialization import get_weights, set_weights
+from ..obs import Tracer, merge_client_spans
 from .callbacks import Callback, CallbackList, PeriodicEvaluation, SwitchTelemetry
 from .config import FLConfig
 from .execution import ClientExecutor, create_executor
@@ -222,6 +224,10 @@ class FederatedSimulation:
         self._active_callbacks: Optional[CallbackList] = None
         self._stop_requested = False
         self._resume: Optional[Tuple[FLHistory, int]] = None
+        # Run-level trace collector (repro.obs).  Attached externally (the
+        # Runner) or auto-created by run() when config.trace/profile is set;
+        # purely observational, so it never influences results.
+        self.tracer: Optional[Tracer] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -333,26 +339,40 @@ class FederatedSimulation:
         # "reference" rounds reproduce the seed dict-based aggregation exactly
         # (the flat and reference reductions are bitwise-identical either way;
         # see tests/fl/test_train_engine.py).
+        clients_span = None
         if getattr(self._executor, "streaming", False):
             # Streaming backend (e.g. "shm"): results are folded into the
             # aggregate one at a time in selection order and released, so the
             # server's peak memory is O(model) regardless of clients/round.
-            # Bitwise-identical to the materialized path below.
-            stream = self._executor.iter_round(
-                self.strategy, self.model_fn, selected, self.global_state, self.context
-            )
-            with engine_mode(self.config.train_engine):
-                self._global_state, results = self.strategy.aggregate_stream(
-                    self._global_state, selected, stream, self.context)
-                self.strategy.on_round_end(self.context, results)
+            # Bitwise-identical to the materialized path below.  Training and
+            # aggregation interleave, so the whole window traces as one
+            # "clients" span.
+            with self._obs_span("clients", round=round_index, count=len(selected),
+                                streaming=True) as clients_span:
+                stream = self._executor.iter_round(
+                    self.strategy, self.model_fn, selected, self.global_state, self.context
+                )
+                with engine_mode(self.config.train_engine):
+                    self._global_state, results = self.strategy.aggregate_stream(
+                        self._global_state, selected, stream, self.context)
+                    self.strategy.on_round_end(self.context, results)
         else:
-            results: List[ClientResult] = self._executor.run_round(
-                self.strategy, self.model_fn, selected, self.global_state, self.context
-            )
-            with engine_mode(self.config.train_engine):
-                self._global_state = self.strategy.aggregate(
-                    self._global_state, results, self.context)
-                self.strategy.on_round_end(self.context, results)
+            with self._obs_span("clients", round=round_index,
+                                count=len(selected)) as clients_span:
+                results: List[ClientResult] = self._executor.run_round(
+                    self.strategy, self.model_fn, selected, self.global_state, self.context
+                )
+            with self._obs_span("aggregate", round=round_index):
+                with engine_mode(self.config.train_engine):
+                    self._global_state = self.strategy.aggregate(
+                        self._global_state, results, self.context)
+                    self.strategy.on_round_end(self.context, results)
+        if self.tracer is not None:
+            merge_client_spans(
+                self.tracer,
+                clients_span.start if clients_span is not None else self.tracer.now(),
+                results,
+                {spec.client_id: spec.device for spec in selected})
 
         record = RoundRecord(
             round_index=round_index,
@@ -369,13 +389,20 @@ class FederatedSimulation:
         callbacks.on_round_end(self, record, results)
         return record
 
+    def _obs_span(self, name: str, **attrs):
+        """A tracer span when tracing is attached, else a no-op context."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
+
     def evaluate(self) -> Dict[str, float]:
         """Evaluate the current global model on every per-device test set."""
-        model = self.global_model()
-        metrics = {
-            device: evaluate_metric(model, dataset, self.config.task)
-            for device, dataset in self.test_sets.items()
-        }
+        with self._obs_span("evaluate", devices=len(self.test_sets)):
+            model = self.global_model()
+            metrics = {
+                device: evaluate_metric(model, dataset, self.config.task)
+                for device, dataset in self.test_sets.items()
+            }
         if self._active_callbacks is not None:
             self._active_callbacks.on_evaluate(self, self.context.round_index, metrics)
         return metrics
@@ -409,20 +436,29 @@ class FederatedSimulation:
         else:
             history, start_round = FLHistory(strategy=self.strategy.name), 0
         callbacks = CallbackList([*self._default_callbacks(), *self.callbacks])
+        if self.tracer is None and (self.config.trace or self.config.profile):
+            self.tracer = Tracer()
+        if self.tracer is not None and start_round > 0:
+            # Rounds [0, start_round) ran in an earlier process; annotate the
+            # gap so a resumed run's trace is well-formed rather than looking
+            # like it silently skipped rounds.
+            self.tracer.instant("resume_gap", next_round=start_round)
         self._history = history
         self._active_callbacks = callbacks
         self._stop_requested = False
         try:
-            callbacks.on_run_start(self, history)
-            for round_index in range(start_round, rounds):
-                # Checked before the round (not after) so a stop requested
-                # during on_run_start — e.g. early stopping re-triggered by a
-                # restored history — prevents any further training.
-                if self._stop_requested:
-                    break
-                self.run_round(round_index, callbacks=callbacks)
-            history.per_device_metric = self.evaluate()
-            callbacks.on_run_end(self, history)
+            with self._obs_span("run", strategy=self.strategy.name,
+                                seed=self.config.seed, rounds=rounds):
+                callbacks.on_run_start(self, history)
+                for round_index in range(start_round, rounds):
+                    # Checked before the round (not after) so a stop requested
+                    # during on_run_start — e.g. early stopping re-triggered by
+                    # a restored history — prevents any further training.
+                    if self._stop_requested:
+                        break
+                    self.run_round(round_index, callbacks=callbacks)
+                history.per_device_metric = self.evaluate()
+                callbacks.on_run_end(self, history)
         finally:
             self._active_callbacks = None
             if self._owns_executor:

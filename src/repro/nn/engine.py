@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["TRAIN_ENGINES", "current_engine", "engine_mode", "validate_engine"]
+from ..obs.profiling import PROFILER as KERNEL_PROFILER
+from ..obs.profiling import profile_kernels
+
+__all__ = ["KERNEL_PROFILER", "TRAIN_ENGINES", "current_engine", "engine_mode",
+           "profile_kernels", "validate_engine"]
 
 TRAIN_ENGINES = ("flat", "reference")
 

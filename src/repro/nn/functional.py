@@ -15,6 +15,13 @@ are tested against (``tests/nn/test_functional.py``).  im2col gather plans
 are cached by ``(C, H, W, kernel, stride, padding)`` in both engines — the
 index arrays are a pure function of the geometry, which is fixed across the
 batches of a training run.
+
+Every engine-dispatched kernel is split into a ``_<name>_dispatch`` body and
+a thin public wrapper guarded by ``if _PROF.enabled:`` — a single attribute
+read when profiling is off (:mod:`repro.obs.profiling`), a per-call timer
+when ``FLConfig.profile`` turns it on.  The ``_dispatch`` twins stay
+addressable so the overhead gate in ``tests/obs/test_profiling.py`` can
+measure a truly hookless baseline.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs.profiling import PROFILER as _PROF
 from .engine import current_engine
 from .tensor import Tensor
 
@@ -119,7 +127,7 @@ def _im2col_plan(
     return k, i, j, flat, out_h, out_w
 
 
-def _im2col(
+def _im2col_dispatch(
     x: np.ndarray,
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
@@ -155,6 +163,13 @@ def _im2col(
     return cols, (k, i, j, flat), out_h, out_w
 
 
+def _im2col(x, kernel, stride, padding):
+    if _PROF.enabled:
+        with _PROF.time("im2col"):
+            return _im2col_dispatch(x, kernel, stride, padding)
+    return _im2col_dispatch(x, kernel, stride, padding)
+
+
 def _col2im_reference(
     cols: np.ndarray,
     x_shape: Tuple[int, int, int, int],
@@ -186,7 +201,7 @@ def _einsum_path(equation: str, *shapes: Tuple[int, ...]):
     return np.einsum_path(equation, *dummies, optimize=True)[0]
 
 
-def _einsum(equation: str, *operands: np.ndarray) -> np.ndarray:
+def _einsum_dispatch(equation: str, *operands: np.ndarray) -> np.ndarray:
     """Engine-dispatched einsum: seed per-call optimize, or cached path."""
     if current_engine() == "reference":
         return np.einsum(equation, *operands, optimize=True)
@@ -194,7 +209,14 @@ def _einsum(equation: str, *operands: np.ndarray) -> np.ndarray:
     return np.einsum(equation, *operands, optimize=path)
 
 
-def _col2im(
+def _einsum(equation, *operands):
+    if _PROF.enabled:
+        with _PROF.time("einsum"):
+            return _einsum_dispatch(equation, *operands)
+    return _einsum_dispatch(equation, *operands)
+
+
+def _col2im_dispatch(
     cols: np.ndarray,
     x_shape: Tuple[int, int, int, int],
     indices: Tuple[np.ndarray, ...],
@@ -236,6 +258,13 @@ def _col2im(
     return x_padded
 
 
+def _col2im(cols, x_shape, indices, padding):
+    if _PROF.enabled:
+        with _PROF.time("col2im"):
+            return _col2im_dispatch(cols, x_shape, indices, padding)
+    return _col2im_dispatch(cols, x_shape, indices, padding)
+
+
 # --------------------------------------------------------------------------- #
 # Linear / convolution
 # --------------------------------------------------------------------------- #
@@ -270,11 +299,18 @@ def _linear_fused(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
     return out
 
 
-def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine transform ``x @ weight.T + bias`` for 2-D inputs."""
+def _linear_dispatch(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
     if x.ndim != 2 or current_engine() == "reference":
         return _linear_reference(x, weight, bias)
     return _linear_fused(x, weight, bias)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` for 2-D inputs."""
+    if _PROF.enabled:
+        with _PROF.time("linear"):
+            return _linear_dispatch(x, weight, bias)
+    return _linear_dispatch(x, weight, bias)
 
 
 def _seq_reduce(grad: np.ndarray, param_shape: Tuple[int, ...]) -> np.ndarray:
@@ -364,6 +400,12 @@ def _batch_norm_train_fused(
     return out, mean, var
 
 
+def _batch_norm_train_dispatch(x, weight, bias, axes, param_shape, eps):
+    if current_engine() == "reference":
+        return _batch_norm_train_reference(x, weight, bias, axes, param_shape, eps)
+    return _batch_norm_train_fused(x, weight, bias, axes, param_shape, eps)
+
+
 def batch_norm_train(
     x: Tensor,
     weight: Tensor,
@@ -377,9 +419,10 @@ def batch_norm_train(
     The returned statistics carry the ``keepdims`` shape of the reduction and
     feed the caller's running-stat update.
     """
-    if current_engine() == "reference":
-        return _batch_norm_train_reference(x, weight, bias, axes, param_shape, eps)
-    return _batch_norm_train_fused(x, weight, bias, axes, param_shape, eps)
+    if _PROF.enabled:
+        with _PROF.time("batch_norm_train"):
+            return _batch_norm_train_dispatch(x, weight, bias, axes, param_shape, eps)
+    return _batch_norm_train_dispatch(x, weight, bias, axes, param_shape, eps)
 
 
 def _batch_norm_eval_reference(
@@ -419,6 +462,12 @@ def _batch_norm_eval_fused(
     return out
 
 
+def _batch_norm_eval_dispatch(x, weight, bias, mean, var, param_shape, eps):
+    if current_engine() == "reference":
+        return _batch_norm_eval_reference(x, weight, bias, mean, var, param_shape, eps)
+    return _batch_norm_eval_fused(x, weight, bias, mean, var, param_shape, eps)
+
+
 def batch_norm_eval(
     x: Tensor,
     weight: Tensor,
@@ -429,9 +478,10 @@ def batch_norm_eval(
     eps: float,
 ) -> Tensor:
     """Inference-mode batch norm using the running statistics."""
-    if current_engine() == "reference":
-        return _batch_norm_eval_reference(x, weight, bias, mean, var, param_shape, eps)
-    return _batch_norm_eval_fused(x, weight, bias, mean, var, param_shape, eps)
+    if _PROF.enabled:
+        with _PROF.time("batch_norm_eval"):
+            return _batch_norm_eval_dispatch(x, weight, bias, mean, var, param_shape, eps)
+    return _batch_norm_eval_dispatch(x, weight, bias, mean, var, param_shape, eps)
 
 
 def conv2d(
@@ -624,11 +674,18 @@ def _hardswish_fused(x: Tensor) -> Tensor:
     return out
 
 
-def hardswish(x: Tensor) -> Tensor:
-    """MobileNetV3 hard-swish: ``x * relu6(x + 3) / 6``."""
+def _hardswish_dispatch(x: Tensor) -> Tensor:
     if current_engine() == "reference":
         return x * hardsigmoid(x)
     return _hardswish_fused(x)
+
+
+def hardswish(x: Tensor) -> Tensor:
+    """MobileNetV3 hard-swish: ``x * relu6(x + 3) / 6``."""
+    if _PROF.enabled:
+        with _PROF.time("hardswish"):
+            return _hardswish_dispatch(x)
+    return _hardswish_dispatch(x)
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -722,11 +779,18 @@ def _cross_entropy_fused(logits: Tensor, targets: np.ndarray) -> Tensor:
     return out
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+def _cross_entropy_dispatch(logits: Tensor, targets: np.ndarray) -> Tensor:
     if current_engine() == "reference":
         return _cross_entropy_reference(logits, targets)
     return _cross_entropy_fused(logits, targets)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    if _PROF.enabled:
+        with _PROF.time("cross_entropy"):
+            return _cross_entropy_dispatch(logits, targets)
+    return _cross_entropy_dispatch(logits, targets)
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:

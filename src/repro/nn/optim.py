@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..obs.profiling import PROFILER as _PROF
 from .flat import FlatParams
 from .layers import Parameter
 
@@ -104,6 +105,13 @@ class SGD(Optimizer):
     # Steps
     # ------------------------------------------------------------------ #
     def step(self) -> None:
+        if _PROF.enabled:
+            with _PROF.time("optim.step"):
+                self._step_dispatch()
+            return
+        self._step_dispatch()
+
+    def _step_dispatch(self) -> None:
         flat = self._flat
         if flat is not None:
             if not flat.is_valid():

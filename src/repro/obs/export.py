@@ -1,0 +1,166 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, JSONL event log, summary.
+
+All files are written through :func:`repro.io.atomic_write` and are
+*result-neutral artifacts*: they live next to a run's ``result.json`` in
+the store entry but never enter the spec hash or the run fingerprint, so
+a traced run stays bit-identical (and resumable against) an untraced one.
+
+``trace.json`` follows the Chrome ``trace_event`` format (complete "X"
+events in microseconds) and loads directly in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..io import atomic_write
+from .trace import SpanRecord, Tracer
+
+__all__ = ["chrome_trace", "export_run_obs", "summarize_trace",
+           "write_chrome_trace", "write_events_jsonl", "write_obs_summary"]
+
+TRACE_FILE = "trace.json"
+EVENTS_FILE = "events.jsonl"
+SUMMARY_FILE = "obs_summary.json"
+
+# Span name -> phase bucket for the per-phase breakdown.  "clients" covers
+# the whole fan-out/aggregate-stream window on the server track; the
+# per-client "client_update" spans inside it are reported separately so
+# server wall clock is never double-counted.
+_PHASE_BY_SPAN = {
+    "capture": "capture",
+    "clients": "client_train",
+    "flush_batch": "client_train",
+    "aggregate": "aggregate",
+    "evaluate": "eval",
+}
+
+_KERNEL_PREFIX = "kernel/"
+
+
+def _tid_index(order: List[str], tid: str) -> int:
+    try:
+        return order.index(tid)
+    except ValueError:
+        order.append(tid)
+        return len(order) - 1
+
+
+def chrome_trace(records: Iterable[SpanRecord],
+                 metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Render span records as a Chrome ``trace_event`` document."""
+    # "main" first so the server track sits on top in the viewer.
+    tid_order: List[str] = ["main"]
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        tid = _tid_index(tid_order, record.tid)
+        args: Dict[str, Any] = dict(record.attrs)
+        if record.parent is not None:
+            args["parent"] = record.parent
+        if record.vstart is not None:
+            args["virtual_start_s"] = record.vstart
+            if record.vduration is not None:
+                args["virtual_duration_s"] = record.vduration
+        event: Dict[str, Any] = {
+            "name": record.name,
+            "cat": "kernel" if record.name.startswith(_KERNEL_PREFIX) else "run",
+            "ph": "i" if record.kind == "instant" else "X",
+            "ts": round(record.start * 1e6, 3),
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        }
+        if record.kind == "instant":
+            event["s"] = "t"
+        else:
+            event["dur"] = round(record.duration * 1e6, 3)
+        events.append(event)
+    for tid, name in enumerate(tid_order):
+        events.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                       "args": {"name": name}})
+    events.append({"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                   "args": {"name": "repro"}})
+    document: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        document["metadata"] = metadata
+    return document
+
+
+def summarize_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Aggregate a trace into per-phase seconds, kernel totals and metrics."""
+    phases: Dict[str, Dict[str, Any]] = {}
+    kernels: Dict[str, Dict[str, Any]] = {}
+    client_updates = {"count": 0, "seconds": 0.0}
+    spans = instants = 0
+    wall_end = 0.0
+    for record in tracer.records:
+        if record.kind == "instant":
+            instants += 1
+            continue
+        spans += 1
+        wall_end = max(wall_end, record.start + record.duration)
+        if record.name.startswith(_KERNEL_PREFIX):
+            entry = kernels.setdefault(record.name[len(_KERNEL_PREFIX):],
+                                       {"calls": 0, "seconds": 0.0})
+            entry["calls"] += int(record.attrs.get("calls", 1))
+            entry["seconds"] += record.duration
+            continue
+        if record.name == "client_update":
+            client_updates["count"] += 1
+            client_updates["seconds"] += record.duration
+            continue
+        phase = _PHASE_BY_SPAN.get(record.name)
+        if phase is not None:
+            entry = phases.setdefault(phase, {"seconds": 0.0, "count": 0})
+            entry["seconds"] += record.duration
+            entry["count"] += 1
+    return {
+        "wall_seconds": wall_end,
+        "phases": phases,
+        "kernels": kernels,
+        "client_updates": client_updates,
+        "spans": spans,
+        "instants": instants,
+        "metrics": tracer.metrics.snapshot(),
+    }
+
+
+def write_chrome_trace(path, tracer: Tracer,
+                       metadata: Optional[Dict[str, Any]] = None) -> None:
+    document = chrome_trace(tracer.records, metadata=metadata)
+    with atomic_write(path, mode="w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+
+
+def write_events_jsonl(path, tracer: Tracer) -> None:
+    """One JSON object per line, spans and instants in completion order."""
+    with atomic_write(path, mode="w", encoding="utf-8") as handle:
+        for record in tracer.records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+
+def write_obs_summary(path, tracer: Tracer,
+                      extra: Optional[Dict[str, Any]] = None) -> None:
+    summary = summarize_trace(tracer)
+    if extra:
+        summary.update(extra)
+    with atomic_write(path, mode="w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def export_run_obs(directory, tracer: Tracer,
+                   metadata: Optional[Dict[str, Any]] = None) -> Dict[str, str]:
+    """Write all three obs artifacts into ``directory``; returns their paths."""
+    paths = {
+        "trace": os.path.join(os.fspath(directory), TRACE_FILE),
+        "events": os.path.join(os.fspath(directory), EVENTS_FILE),
+        "summary": os.path.join(os.fspath(directory), SUMMARY_FILE),
+    }
+    write_chrome_trace(paths["trace"], tracer, metadata=metadata)
+    write_events_jsonl(paths["events"], tracer)
+    write_obs_summary(paths["summary"], tracer, extra=metadata)
+    return paths

@@ -1,0 +1,113 @@
+"""Per-kernel profiling hooks for the training engine hot paths.
+
+The engine kernels (`nn/functional.py`, `nn/optim.py`) guard every call
+with ``if PROFILER.enabled:`` — a single attribute read on a module-level
+singleton, so the disabled overhead is one branch per kernel call (<5% of
+round time; gated in ``tests/obs/test_profiling.py``).
+
+Accumulators are *thread-local*: each executor worker thread sums
+``name -> [calls, seconds]`` privately and :meth:`KernelProfiler.drain`
+returns-and-clears only the calling thread's totals — so concurrent
+clients on the thread executor never mix numbers.  ``enabled`` itself is
+process-global behind a nesting counter (:meth:`activate` /
+:meth:`deactivate`), so overlapping clients keep profiling on until the
+last one finishes; any race on the flag can only gain or lose *timing*
+samples, never perturb training results.
+
+Worker processes (process/shm executors) inherit a disabled profiler at
+fork and activate it per client inside ``run_client``; the drained totals
+travel back as packed scalars on the existing result path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["KernelProfiler", "PROFILER", "profile_kernels"]
+
+
+class _KernelTimer:
+    """Times one kernel call; created only when profiling is enabled."""
+
+    __slots__ = ("profiler", "name", "_t0")
+
+    def __init__(self, profiler: "KernelProfiler", name: str):
+        self.profiler = profiler
+        self.name = name
+
+    def __enter__(self) -> "_KernelTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.profiler.add(self.name, time.perf_counter() - self._t0)
+
+
+class KernelProfiler:
+    """Process-global kernel timer with thread-local accumulators."""
+
+    def __init__(self) -> None:
+        # Plain attribute on purpose: the disabled fast path in every kernel
+        # is a single ``if PROFILER.enabled:`` read, no descriptor/lock.
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._active = 0
+        self._local = threading.local()
+
+    def _acc(self) -> Dict[str, list]:
+        acc = getattr(self._local, "acc", None)
+        if acc is None:
+            acc = self._local.acc = {}
+        return acc
+
+    def time(self, name: str) -> _KernelTimer:
+        """Context manager timing one call of kernel ``name``."""
+        return _KernelTimer(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        acc = self._acc()
+        entry = acc.get(name)
+        if entry is None:
+            acc[name] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    def drain(self) -> Dict[str, Tuple[int, float]]:
+        """Return-and-clear the calling thread's ``name -> (calls, seconds)``."""
+        acc = getattr(self._local, "acc", None)
+        if not acc:
+            return {}
+        out = {name: (int(calls), float(seconds))
+               for name, (calls, seconds) in acc.items()}
+        acc.clear()
+        return out
+
+    def activate(self) -> None:
+        """Enable kernel timers; nests (see :meth:`deactivate`)."""
+        with self._lock:
+            self._active += 1
+            self.enabled = True
+
+    def deactivate(self) -> None:
+        """Drop one activation; timers turn off when the last one exits."""
+        with self._lock:
+            self._active = max(0, self._active - 1)
+            if self._active == 0:
+                self.enabled = False
+
+
+PROFILER = KernelProfiler()
+
+
+@contextmanager
+def profile_kernels() -> Iterator[KernelProfiler]:
+    """Enable kernel profiling for a block; yields the shared profiler."""
+    PROFILER.activate()
+    try:
+        yield PROFILER
+    finally:
+        PROFILER.deactivate()

@@ -36,6 +36,7 @@ from ..fl.simulation import FederatedSimulation, FLHistory, history_from_dict
 from ..fl.strategies import create_strategy
 from ..data.partition import build_client_specs
 from ..nn.layers import Module
+from ..obs import Tracer, export_run_obs
 from ..store import RunStore
 from .registries import (
     CALLBACK_REGISTRY,
@@ -199,7 +200,18 @@ class Runner:
                     return history_from_dict(entry.load_result()["history"])
                 snapshot = entry.load_checkpoint()
 
-        bundle = self.build_bundle(spec, seed)
+        # Tracing/profiling are result-neutral config overrides; the tracer is
+        # created here (not inside the simulation) so it also covers dataset
+        # capture and can be exported into the store entry after the run.
+        tracer = None
+        if spec.config_overrides.get("trace") or spec.config_overrides.get("profile"):
+            tracer = Tracer()
+
+        if tracer is not None:
+            with tracer.span("capture", dataset=spec.dataset, seed=seed):
+                bundle = self.build_bundle(spec, seed)
+        else:
+            bundle = self.build_bundle(spec, seed)
         config = self._build_config(spec, scale, bundle, seed)
         factory = make_model_factory(
             scale, bundle.num_classes, bundle.image_size,
@@ -237,6 +249,8 @@ class Runner:
                     factory, clients, bundle.test, strategy, config,
                     sampler=sampler, callbacks=callbacks, executor=executor,
                 )
+            if tracer is not None:
+                simulation.tracer = tracer
             if snapshot is not None:
                 simulation.restore(snapshot)
             history = simulation.run()
@@ -244,6 +258,9 @@ class Runner:
             executor.close()
         if entry is not None:
             entry.save_result(history, final_state=simulation.global_state)
+            if tracer is not None:
+                export_run_obs(entry.path, tracer,
+                               metadata={"run_id": entry.run_id, "seed": seed})
         return history
 
     def _build_config(self, spec: RunSpec, scale: ExperimentScale,

@@ -71,6 +71,11 @@ _RESULT_NEUTRAL_FIELDS = ("seeds", "name", "executor", "max_workers")
 # cache resumes cleanly with one and vice versa.
 _RESULT_NEUTRAL_DATASET_KWARGS = ("capture_cache",)
 
+# Config overrides that only turn observation on or off (repro.obs tracing and
+# per-kernel profiling) — timing never feeds back into results, so a traced
+# run shares its directory and fingerprint with the untraced one.
+_RESULT_NEUTRAL_CONFIG_OVERRIDES = ("profile", "trace")
+
 _CHECKPOINT_PATTERN = re.compile(r"^round_(\d+)\.npz$")
 
 
@@ -91,6 +96,10 @@ def spec_hash(spec: "RunSpec") -> str:
     if isinstance(dataset_kwargs, dict):
         for kwarg in _RESULT_NEUTRAL_DATASET_KWARGS:
             dataset_kwargs.pop(kwarg, None)
+    config_overrides = data.get("config_overrides")
+    if isinstance(config_overrides, dict):
+        for key in _RESULT_NEUTRAL_CONFIG_OVERRIDES:
+            config_overrides.pop(key, None)
     blob = json.dumps(data, sort_keys=True, default=str).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
@@ -142,6 +151,20 @@ class RunEntry:
     @property
     def result_path(self) -> Path:
         return self.path / "result.json"
+
+    # Observability artifacts (repro.obs exporters).  Result-neutral: they
+    # never enter the spec hash or the run fingerprint.
+    @property
+    def trace_path(self) -> Path:
+        return self.path / "trace.json"
+
+    @property
+    def events_path(self) -> Path:
+        return self.path / "events.jsonl"
+
+    @property
+    def obs_summary_path(self) -> Path:
+        return self.path / "obs_summary.json"
 
     # -- manifest ------------------------------------------------------- #
     def manifest(self) -> Dict[str, Any]:

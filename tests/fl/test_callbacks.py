@@ -31,11 +31,34 @@ class Recorder(Callback):
     def on_round_end(self, sim, record, results):
         self.events.append(f"round_end:{record.round_index}:{len(results)}")
 
+    def on_event(self, sim, info):
+        self.events.append(f"event:{info['kind']}")
+
     def on_evaluate(self, sim, round_index, metrics):
         self.events.append(f"evaluate:{sorted(metrics)}")
 
     def on_run_end(self, sim, history):
         self.events.append("run_end")
+
+
+class _Fussy(Recorder):
+    """Recorder that raises on the hooks named at construction."""
+
+    def __init__(self, *raise_on):
+        super().__init__()
+        self.raise_on = set(raise_on)
+
+    def _maybe_raise(self, hook):
+        if hook in self.raise_on:
+            raise RuntimeError(f"boom in {hook}")
+
+    def on_round_end(self, sim, record, results):
+        super().on_round_end(sim, record, results)
+        self._maybe_raise("on_round_end")
+
+    def on_run_end(self, sim, history):
+        super().on_run_end(sim, history)
+        self._maybe_raise("on_run_end")
 
 
 class TestHookSequence:
@@ -69,6 +92,84 @@ class TestHookSequence:
         callbacks = CallbackList([first, second])
         callbacks.on_run_start(None, None)
         assert first.events == second.events == ["run_start"]
+
+    def test_full_hook_ordering_with_periodic_eval(self, tiny_bundle, tiny_clients,
+                                                   tiny_model_fn):
+        """run_start -> (round_start -> round_end)* -> evaluate -> run_end.
+
+        The default PeriodicEvaluation callback sits *before* user callbacks,
+        so its eval_every evaluation fires inside each round_end dispatch —
+        the recorder sees 'evaluate' just before its own 'round_end'."""
+        recorder = Recorder()
+        config = FLConfig(num_clients=6, clients_per_round=3, num_rounds=2,
+                          batch_size=4, learning_rate=0.1, eval_every=1, seed=0)
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  FedAvg(), config, callbacks=[recorder])
+        sim.run()
+        kinds = [event.split(":")[0] for event in recorder.events]
+        assert kinds == ["run_start",
+                         "round_start", "evaluate", "round_end",
+                         "round_start", "evaluate", "round_end",
+                         "evaluate", "run_end"]
+
+    def test_async_event_hooks_fire_between_run_start_and_end(
+            self, tiny_bundle, tiny_clients, tiny_model_fn):
+        from repro.fl.async_sim import AsyncFederatedSimulation
+        from repro.fl.strategies import create_strategy as _create
+
+        recorder = Recorder()
+        config = FLConfig(num_clients=6, clients_per_round=3, num_rounds=2,
+                          batch_size=4, learning_rate=0.1, seed=0)
+        sim = AsyncFederatedSimulation(
+            tiny_model_fn, tiny_clients, tiny_bundle.test, _create("fedasync"),
+            config, callbacks=[recorder])
+        sim.run()
+        assert recorder.events[0] == "run_start"
+        assert recorder.events[-1] == "run_end"
+        kinds = {e.split(":", 1)[1] for e in recorder.events
+                 if e.startswith("event:")}
+        assert {"dispatch", "completion", "commit"} <= kinds
+        # Every dispatch strictly precedes its run_end; events only occur
+        # inside the run_start/run_end envelope.
+        assert all(e.startswith(("event:", "round", "evaluate"))
+                   for e in recorder.events[1:-1])
+
+
+class TestCallbackExceptionIsolation:
+    def test_later_callbacks_still_run_when_one_raises(self):
+        fussy, after = _Fussy("on_round_end"), Recorder()
+
+        class _FakeRecord:
+            round_index = 0
+
+        callbacks = CallbackList([fussy, after])
+        with pytest.raises(RuntimeError, match="boom in on_round_end"):
+            callbacks.on_round_end(None, _FakeRecord(), [])
+        # The callback after the raising one still saw the hook.
+        assert after.events == ["round_end:0:0"]
+
+    def test_first_of_several_exceptions_propagates(self):
+        first, second = _Fussy("on_run_end"), _Fussy("on_run_end")
+        first.raise_on = {"on_run_end"}
+        with pytest.raises(RuntimeError, match="boom"):
+            CallbackList([first, second]).on_run_end(None, None)
+        assert first.events == second.events == ["run_end"]
+
+    def test_telemetry_keeps_counting_past_a_raising_callback(
+            self, tiny_bundle, tiny_clients, tiny_fl_config, tiny_model_fn):
+        """The motivating bug: a raising callback must not silence
+        SwitchTelemetry (registered before user callbacks would be unaffected,
+        so place the raiser first in the user list and count via a recorder)."""
+        fussy = _Fussy("on_round_end")
+        after = Recorder()
+        sim = FederatedSimulation(tiny_model_fn, tiny_clients, tiny_bundle.test,
+                                  FedAvg(), tiny_fl_config,
+                                  callbacks=[fussy, after])
+        with pytest.raises(RuntimeError, match="boom in on_round_end"):
+            sim.run()
+        # The raising callback fired round 0's hook; so did the one after it.
+        assert "round_end:0:3" in fussy.events
+        assert "round_end:0:3" in after.events
 
 
 class TestSwitchTelemetry:

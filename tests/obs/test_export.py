@@ -1,0 +1,119 @@
+"""Exporters: Chrome trace_event JSON, JSONL event log, trace summary."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    export_run_obs,
+    merge_client_spans,
+    summarize_trace,
+)
+
+
+class _FakeResult:
+    def __init__(self, client_id, metadata):
+        self.client_id = client_id
+        self.metadata = metadata
+
+
+def make_traced_run():
+    """A miniature but structurally complete run trace."""
+    tracer = Tracer()
+    with tracer.span("run", strategy="fedavg"):
+        with tracer.span("capture", dataset="device_capture"):
+            pass
+        with tracer.span("clients", round=0) as clients:
+            pass
+        merge_client_spans(tracer, clients.start, [
+            _FakeResult(0, {"obs": {"duration": 0.4,
+                                    "kernels": {"linear": [3, 0.25],
+                                                "im2col": [2, 0.1]}}}),
+            _FakeResult(1, {"obs": {"duration": 0.2,
+                                    "kernels": {"linear": [3, 0.15]}}}),
+        ], {0: "S6", 1: "G7"})
+        with tracer.span("aggregate", round=0):
+            pass
+        tracer.instant("commit", version=1)
+        with tracer.span("evaluate", devices=3):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        tracer = make_traced_run()
+        document = chrome_trace(tracer.records, metadata={"run_id": "r1"})
+        assert document["displayTimeUnit"] == "ms"
+        assert document["metadata"] == {"run_id": "r1"}
+        json.dumps(document)  # must serialize
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} >= {
+            "run", "capture", "clients", "client_update", "aggregate",
+            "evaluate", "kernel/linear", "kernel/im2col"}
+        assert all(isinstance(e["ts"], float) and e["dur"] >= 0 for e in complete)
+        assert all(e["pid"] == 1 and isinstance(e["tid"], int) for e in complete)
+        assert [e["s"] for e in instants] == ["t"]
+        # tid 0 is the server ("main") track; client tracks get their own ids.
+        names_by_tid = {e["tid"]: e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert names_by_tid[0] == "main"
+        assert {"client-0", "client-1"} <= set(names_by_tid.values())
+        assert any(e["name"] == "process_name" for e in meta)
+
+    def test_kernel_category_and_parent_args(self):
+        document = chrome_trace(make_traced_run().records)
+        kernel = next(e for e in document["traceEvents"]
+                      if e["name"] == "kernel/linear")
+        assert kernel["cat"] == "kernel"
+        assert kernel["args"]["parent"] == "client_update"
+        assert kernel["args"]["calls"] == 3
+
+    def test_virtual_clock_surfaces_in_args(self):
+        tracer = Tracer()
+        clock = {"t": 5.0}
+        tracer.set_virtual_clock(lambda: clock["t"])
+        with tracer.span("flush_batch"):
+            clock["t"] = 8.0
+        [event] = [e for e in chrome_trace(tracer.records)["traceEvents"]
+                   if e["ph"] == "X"]
+        assert event["args"]["virtual_start_s"] == 5.0
+        assert event["args"]["virtual_duration_s"] == 3.0
+
+
+class TestSummary:
+    def test_phase_and_kernel_buckets(self):
+        summary = summarize_trace(make_traced_run())
+        assert set(summary["phases"]) == {"capture", "client_train",
+                                          "aggregate", "eval"}
+        assert summary["phases"]["client_train"]["count"] == 1
+        assert summary["kernels"]["linear"] == {
+            "calls": 6, "seconds": 0.25 + 0.15}
+        assert summary["kernels"]["im2col"]["calls"] == 2
+        assert summary["client_updates"]["count"] == 2
+        assert summary["client_updates"]["seconds"] == 0.4 + 0.2
+        assert summary["instants"] == 1
+        assert summary["wall_seconds"] > 0.0
+        # Metrics from merge_client_spans ride along.
+        trained = [m for m in summary["metrics"] if m["name"] == "clients_trained"]
+        assert sum(m["value"] for m in trained) == 2
+
+    def test_summary_is_json_compatible(self):
+        json.dumps(summarize_trace(make_traced_run()))
+
+
+class TestExportRunObs:
+    def test_writes_all_three_artifacts(self, tmp_path):
+        tracer = make_traced_run()
+        paths = export_run_obs(tmp_path, tracer, metadata={"run_id": "r1"})
+        document = json.loads((tmp_path / "trace.json").read_text())
+        assert document["metadata"]["run_id"] == "r1"
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == len(tracer.records)
+        assert all(json.loads(line)["name"] for line in lines)
+        summary = json.loads((tmp_path / "obs_summary.json").read_text())
+        assert summary["run_id"] == "r1"
+        assert set(paths) == {"trace", "events", "summary"}

@@ -1,0 +1,145 @@
+"""End-to-end acceptance: traced Table-4-style workload + CLI surfacing.
+
+The ISSUE's acceptance criterion: one traced bench run of the Table 4
+workload (heteroswitch on device captures, the paper's MobileNetV3-Small)
+produces a valid Chrome ``trace_event`` JSON in the run's store entry —
+spans for capture, every client update, aggregation and eval, at least five
+distinct engine kernels — with a fingerprint bit-identical to the untraced
+run.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runtime import Runner, RunSpec, RunStore
+
+DEVICES = ["Pixel5", "S6"]
+
+
+def table4_spec(*, traced):
+    config = {"num_rounds": 1, "num_clients": 4, "clients_per_round": 2,
+              "local_epochs": 1}
+    if traced:
+        config.update(trace=True, profile=True)
+    return RunSpec(strategy="heteroswitch", dataset="device_capture",
+                   dataset_kwargs={"devices": DEVICES},
+                   model="mobilenetv3_small", scale="smoke",
+                   config_overrides=config, seeds=[0])
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced + one untraced run of the acceptance workload (shared:
+    MobileNetV3-Small rounds are the most expensive thing in this suite)."""
+    root = tmp_path_factory.mktemp("obs-acceptance")
+    runner = Runner(store=root / "traced")
+    runner.run(table4_spec(traced=True))
+    [traced] = RunStore(root / "traced").list_runs()
+    Runner(store=root / "untraced").run(table4_spec(traced=False))
+    [untraced] = RunStore(root / "untraced").list_runs()
+    return traced, untraced
+
+
+class TestAcceptance:
+    def test_fingerprint_identical_to_untraced(self, traced_run):
+        traced, untraced = traced_run
+        assert traced.run_id == untraced.run_id  # trace/profile are hash-neutral
+        assert traced.load_result()["fingerprint"] == \
+            untraced.load_result()["fingerprint"]
+        assert traced.trace_path.exists()
+        assert not untraced.trace_path.exists()
+
+    def test_chrome_trace_is_valid_and_complete(self, traced_run):
+        traced, _ = traced_run
+        document = json.loads(traced.trace_path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        names = [e["name"] for e in complete]
+        for required in ("run", "capture", "clients", "aggregate", "evaluate"):
+            assert required in names, f"missing span '{required}'"
+        # Every selected client produced a client_update span.
+        assert names.count("client_update") == 2  # 1 round x 2 clients/round
+        kernels = {e["name"] for e in complete if e["name"].startswith("kernel/")}
+        assert len(kernels) >= 5, f"expected >=5 distinct kernels, got {kernels}"
+        # The conv path is exercised: im2col/col2im among them.
+        assert {"kernel/im2col", "kernel/linear"} <= kernels
+        # Structural validity: metadata thread names, monotone fields.
+        assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+        assert all(e["dur"] >= 0.0 and e["ts"] >= 0.0 for e in complete)
+
+    def test_summary_breaks_down_phases_and_kernels(self, traced_run):
+        traced, _ = traced_run
+        summary = json.loads(traced.obs_summary_path.read_text())
+        assert {"capture", "client_train", "aggregate", "eval"} <= \
+            set(summary["phases"])
+        assert summary["client_updates"]["count"] == 2
+        assert len(summary["kernels"]) >= 5
+        for entry in summary["kernels"].values():
+            assert entry["calls"] > 0 and entry["seconds"] >= 0.0
+        # Per-client kernel time is a subset of the client update time.
+        assert sum(k["seconds"] for k in summary["kernels"].values()) <= \
+            summary["client_updates"]["seconds"] * 1.01
+        trained = [m for m in summary["metrics"] if m["name"] == "clients_trained"]
+        assert sum(m["value"] for m in trained) == 2
+
+    def test_events_jsonl_round_trips(self, traced_run):
+        traced, _ = traced_run
+        lines = traced.events_path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert len(events) > 0
+        assert all(e["duration"] >= 0.0 for e in events)
+
+
+class TestCLISurfacing:
+    def test_trace_command_summarizes_a_stored_run(self, traced_run, capsys):
+        traced, _ = traced_run
+        store = str(traced.path.parent)
+        assert main(["trace", traced.run_id, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "traced wall clock" in out
+        assert "client_train" in out
+        assert "kernel" in out
+        assert "trace.json" in out
+
+    def test_trace_command_on_untraced_run_errors(self, traced_run, capsys):
+        _, untraced = traced_run
+        store = str(untraced.path.parent)
+        assert main(["trace", untraced.run_id, "--store", store]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_runs_show_includes_phase_breakdown(self, traced_run, capsys):
+        traced, _ = traced_run
+        store = str(traced.path.parent)
+        assert main(["runs", "show", traced.run_id, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "client_train" in out
+
+    def test_bench_profile_flag_produces_trace(self, tmp_path, capsys):
+        exit_code = main([
+            "bench", "--strategy", "fedavg", "--dataset", "device_capture",
+            "--scale", "smoke", "--rounds", "1", "--seeds", "0",
+            "--profile", "--store", str(tmp_path / "runs"),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "[trace (seed 0):" in out
+        [entry] = RunStore(tmp_path / "runs").list_runs()
+        assert entry.trace_path.exists()
+        summary = json.loads(entry.obs_summary_path.read_text())
+        assert summary["kernels"]  # --profile implies per-kernel timing
+
+    def test_profile_implies_trace_in_spec_overrides(self):
+        from repro.cli import _build_spec, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--profile"])
+        spec = _build_spec(args)
+        assert spec.config_overrides["profile"] is True
+        assert spec.config_overrides["trace"] is True
+        args = parser.parse_args(["bench", "--trace"])
+        spec = _build_spec(args)
+        assert spec.config_overrides == {"trace": True}

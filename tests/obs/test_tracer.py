@@ -1,0 +1,123 @@
+"""Unit tests for the repro.obs tracing layer."""
+
+import threading
+
+from repro.obs import Tracer, merge_client_spans
+
+
+class TestSpans:
+    def test_span_records_interval_and_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", index=1):
+            assert tracer.current_span == "outer"
+            with tracer.span("inner"):
+                assert tracer.current_span == "inner"
+        assert tracer.current_span is None
+        inner, outer = tracer.records  # inner closes first
+        assert inner.name == "inner" and inner.parent == "outer"
+        assert outer.name == "outer" and outer.parent is None
+        assert outer.attrs == {"index": 1}
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.start <= inner.start
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.current_span is None
+        assert tracer.records[0].name == "boom"
+
+    def test_instant(self):
+        tracer = Tracer()
+        with tracer.span("round"):
+            tracer.instant("commit", version=3)
+        instant = tracer.records[0]
+        assert instant.kind == "instant"
+        assert instant.duration == 0.0
+        assert instant.parent == "round"
+        assert instant.attrs == {"version": 3}
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(maxlen=8)
+        for i in range(50):
+            tracer.instant("tick", i=i)
+        assert len(tracer.records) == 8
+        assert tracer.records[0].attrs == {"i": 42}
+
+    def test_thread_spans_get_their_own_stack_and_tid(self):
+        tracer = Tracer()
+        seen = {}
+
+        def work():
+            with tracer.span("worker-span"):
+                seen["current"] = tracer.current_span
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=work, name="worker-1")
+            thread.start()
+            thread.join()
+            assert tracer.current_span == "main-span"
+        assert seen["current"] == "worker-span"
+        worker = next(r for r in tracer.records if r.name == "worker-span")
+        assert worker.tid == "worker-1"
+        assert worker.parent is None  # not nested under the main thread's span
+
+    def test_virtual_clock_recorded_when_registered(self):
+        tracer = Tracer()
+        clock = {"t": 10.0}
+        tracer.set_virtual_clock(lambda: clock["t"])
+        with tracer.span("flush"):
+            clock["t"] = 25.0
+        tracer.instant("commit")
+        flush, commit = tracer.records
+        assert flush.vstart == 10.0 and flush.vduration == 15.0
+        assert commit.vstart == 25.0 and commit.vduration == 0.0
+        # Without a virtual clock nothing is recorded.
+        plain = Tracer()
+        with plain.span("x"):
+            pass
+        assert plain.records[0].vstart is None
+
+    def test_to_dicts_omits_unset_fields(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        [data] = tracer.to_dicts()
+        assert data["name"] == "a"
+        assert "vstart" not in data and "attrs" not in data and "parent" not in data
+
+
+class _FakeResult:
+    def __init__(self, client_id, metadata):
+        self.client_id = client_id
+        self.metadata = metadata
+
+
+class TestMergeClientSpans:
+    def test_payloads_become_client_and_kernel_spans(self):
+        tracer = Tracer()
+        results = [
+            _FakeResult(3, {"obs": {"duration": 0.5,
+                                    "kernels": {"linear": [4, 0.2],
+                                                "im2col": [2, 0.1]}}}),
+            _FakeResult(5, {"other": 1}),  # untraced result: untouched
+        ]
+        merge_client_spans(tracer, 1.0, results, {3: "S6", 5: "G7"})
+        spans = {r.name: r for r in tracer.records}
+        update = spans["client_update"]
+        assert update.tid == "client-3" and update.duration == 0.5
+        assert update.attrs == {"client_id": 3, "device": "S6"}
+        # Kernel children laid end to end from the anchor, sorted by name.
+        assert spans["kernel/im2col"].start == 1.0
+        assert spans["kernel/linear"].start == 1.1
+        assert spans["kernel/linear"].attrs == {"calls": 4}
+        # The payload is popped; other metadata survives.
+        assert "obs" not in results[0].metadata
+        assert results[1].metadata == {"other": 1}
+        # Metrics fold in per device.
+        assert tracer.metrics.counter("clients_trained", device="S6").value == 1
+        hist = tracer.metrics.histogram("client_update_seconds", device="S6")
+        assert hist.count == 1 and hist.total == 0.5
