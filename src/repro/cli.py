@@ -40,6 +40,7 @@ from .eval.experiments import EXPERIMENTS, run_experiment
 from .eval.reporting import write_report
 from .eval.results import ExperimentResult, format_table
 from .eval.scale import SCALES
+from .nn.engine import COMPUTE_DTYPES
 from .runtime import (
     CALLBACK_REGISTRY,
     DATASET_REGISTRY,
@@ -160,6 +161,10 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seeds to replicate over (default: the spec's seeds)")
     parser.add_argument("--rounds", type=int, default=None,
                         help="override the number of communication rounds")
+    parser.add_argument("--dtype", default=None, choices=list(COMPUTE_DTYPES),
+                        help="compute precision: float64 is the bitwise golden "
+                             "path, float32 the faster tolerance-validated path "
+                             "(default: the spec's dtype, float64)")
     parser.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
                         help="client-execution backend (results are bit-identical; "
                              "only wall clock changes)")
@@ -257,6 +262,8 @@ def _apply_spec_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
     config_overrides = dict(spec.config_overrides)
     if args.rounds is not None:
         config_overrides["num_rounds"] = args.rounds
+    if args.dtype is not None:
+        config_overrides["dtype"] = args.dtype
     if args.profile:
         config_overrides["profile"] = True
     if args.trace or args.profile:
@@ -496,6 +503,9 @@ def _runs_command(args: argparse.Namespace) -> int:
         print(f"error: {_message(exc)}", file=sys.stderr)
         return 2
     print(json.dumps(manifest, indent=2, sort_keys=True))
+    spec = manifest.get("spec", {})
+    dtype = spec.get("config_overrides", {}).get("dtype", "float64")
+    print(f"dtype: {dtype}")
     checkpoints = [path.name for path in entry.checkpoint_files()]
     print(f"checkpoints: {', '.join(checkpoints) if checkpoints else '(none)'}")
     if entry.has_result():

@@ -102,7 +102,8 @@ class WeightAverager:
             return
         keys, shapes, vector = arena.pack_with_buffers()
         if self._layout is None:
-            self._layout = StateLayout.from_keys_shapes(keys, shapes)
+            self._layout = StateLayout.from_keys_shapes(keys, shapes,
+                                                        dtype=vector.dtype)
         elif list(keys) != self._layout.keys:
             raise KeyError("state dict keys do not match the averaged state")
         self._fold(vector)

@@ -42,6 +42,7 @@ from ...core.ema import EMALossTracker
 from ...data.dataset import ArrayDataset
 from ...data.partition import ClientSpec
 from ...devices.latency import DeviceLatencyModel, LatencyRegime, build_latency_models
+from ...nn.engine import engine_scope
 from ...nn.layers import Module
 from ...nn.serialization import StateLayout, get_weights, set_weights
 from ...obs import MetricsRegistry, Tracer, merge_client_spans
@@ -306,7 +307,8 @@ class AsyncFederatedSimulation:
         if len(self._client_by_id) != len(self.clients):
             raise ValueError("client ids must be unique")
 
-        template = get_weights(model_fn())
+        with engine_scope(config):
+            template = get_weights(model_fn())
         self._layout = StateLayout(template)
         self._global_vec = self._layout.pack(template)
         self.context = FLContext(
@@ -374,7 +376,8 @@ class AsyncFederatedSimulation:
 
     def global_model(self) -> Module:
         """A model instance loaded with the current global weights."""
-        model = self.model_fn()
+        with engine_scope(self.config):
+            model = self.model_fn()
         set_weights(model, self._layout.unpack(self._global_vec))
         return model
 
@@ -553,7 +556,8 @@ class AsyncFederatedSimulation:
         self._fill_dispatch()
 
     def _apply_commit(self, commit: AsyncCommit) -> None:
-        self._global_vec = np.ascontiguousarray(commit.vector, dtype=np.float64)
+        self._global_vec = np.ascontiguousarray(commit.vector,
+                                                dtype=self._layout.dtype)
         self._version += 1
         # Later dispatches must broadcast the new version: close the batch.
         closed, self._open_batch = self._open_batch, None
@@ -593,10 +597,11 @@ class AsyncFederatedSimulation:
         with (self.tracer.span("evaluate", devices=len(self.test_sets))
               if self.tracer is not None else nullcontext()):
             model = self.global_model()
-            metrics = {
-                device: evaluate_metric(model, dataset, self.config.task)
-                for device, dataset in self.test_sets.items()
-            }
+            with engine_scope(self.config):
+                metrics = {
+                    device: evaluate_metric(model, dataset, self.config.task)
+                    for device, dataset in self.test_sets.items()
+                }
         if self._active_callbacks is not None:
             self._active_callbacks.on_evaluate(self, self._version, metrics)
         return metrics

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..nn.engine import validate_engine
+from ..nn.engine import validate_dtype, validate_engine
 
 __all__ = ["FLConfig", "TASKS"]
 
@@ -40,6 +40,14 @@ class FLConfig:
     # (tests/fl/test_train_engine.py); "reference" exists as the golden
     # baseline for equivalence tests and the training-throughput benchmark.
     train_engine: str = "flat"
+    # Compute precision for the whole pipeline (tensors, parameter arena,
+    # optimizer buffers, fused kernels, shm segments, checkpoints).
+    # "float64" is the golden path — bitwise-identical to the seed
+    # implementation; "float32" is the opt-in fast path, equivalent to
+    # float64 within tolerance (tests/fl/test_dtype_equivalence.py) at
+    # roughly half the memory-bandwidth cost.  Aggregation reductions
+    # accumulate in float64 either way.  Changes results -> in the spec hash.
+    dtype: str = "float64"
     # Observability (repro.obs).  Both flags are purely observational and
     # result-neutral: they never perturb training results, fingerprints, or
     # the spec hash (store._RESULT_NEUTRAL_CONFIG_OVERRIDES).  ``trace``
@@ -67,6 +75,7 @@ class FLConfig:
         if not 0.0 < self.ema_alpha <= 1.0:
             raise ValueError("ema_alpha must be in (0, 1]")
         validate_engine(self.train_engine)
+        validate_dtype(self.dtype)
         if not isinstance(self.profile, bool):
             raise ValueError("profile must be a bool")
         if not isinstance(self.trace, bool):

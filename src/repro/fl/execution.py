@@ -55,7 +55,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional,
 import numpy as np
 
 from ..data.partition import ClientSpec
-from ..nn.engine import engine_mode
+from ..nn.engine import engine_scope
 from ..nn.serialization import StateLayout, clone_state
 from ..obs.profiling import PROFILER
 from ..registry import Registry
@@ -130,8 +130,9 @@ def run_client(
 
     The whole update — including strategy-side evaluation such as
     HeteroSwitch's bias measurement — runs under the config's training engine
-    (``flat`` or ``reference``); the mode is thread-local, so concurrent
-    clients on different engines cannot interfere.
+    (``flat`` or ``reference``) *and* compute dtype (``float64`` or
+    ``float32``); both modes are thread-local, so concurrent clients on
+    different engines or precisions cannot interfere.
 
     When the config asks for observability (``trace``/``profile``), the
     update is wall-clock timed — and, under ``profile``, run with the kernel
@@ -145,12 +146,12 @@ def run_client(
     config = context.config
     profile = bool(getattr(config, "profile", False))
     if not (profile or getattr(config, "trace", False)):
-        with engine_mode(getattr(config, "train_engine", "flat")):
+        with engine_scope(config):
             result = strategy.client_update(model, spec, global_state, context)
         result.client_id = spec.client_id
         return result
     start = time.perf_counter()
-    with engine_mode(getattr(config, "train_engine", "flat")):
+    with engine_scope(config):
         if profile:
             PROFILER.drain()  # drop residue from a previously aborted client
             PROFILER.activate()
@@ -254,14 +255,21 @@ class SerialExecutor(ClientExecutor):
         super().__init__(max_workers)
         self._factory: Optional[ModelFactory] = None
         self._model: Optional["Module"] = None
+        self._model_dtype: Optional[str] = None
 
     def run_round(self, strategy, model_fn, selected, global_state, context):
         return list(self.iter_round(strategy, model_fn, selected, global_state,
                                     context))
 
     def iter_round(self, strategy, model_fn, selected, global_state, context):
-        if self._factory is not model_fn:
-            self._factory, self._model = model_fn, model_fn()
+        # The scratch-model cache is keyed on (factory, compute dtype): the
+        # same factory at a different precision must rebuild, or a float64
+        # model would silently serve a float32 round (and vice versa).
+        dtype = getattr(context.config, "dtype", "float64")
+        if self._factory is not model_fn or self._model_dtype != dtype:
+            with engine_scope(context.config):
+                self._factory, self._model = model_fn, model_fn()
+            self._model_dtype = dtype
         for spec in selected:
             yield run_client(strategy, self._model, spec, global_state, context)
 
@@ -291,8 +299,12 @@ class ThreadExecutor(ClientExecutor):
 
     def _run_one(self, strategy, model_fn, spec, global_state, context):
         cache = self._local
-        if getattr(cache, "factory", None) is not model_fn:
-            cache.factory, cache.model = model_fn, model_fn()
+        dtype = getattr(context.config, "dtype", "float64")
+        if (getattr(cache, "factory", None) is not model_fn
+                or getattr(cache, "dtype", None) != dtype):
+            with engine_scope(context.config):
+                cache.factory, cache.model = model_fn, model_fn()
+            cache.dtype = dtype
         return run_client(strategy, cache.model, spec, global_state, context)
 
     def run_round(self, strategy, model_fn, selected, global_state, context):
@@ -341,17 +353,22 @@ def _require_fork_platform(executor_name: str) -> None:
 # model factory (usually a closure) nor the client datasets are ever pickled.
 _FORK_JOB: Optional[Tuple] = None
 # Child-side scratch model, built on first use and reused for every client the
-# child handles this round (children never outlive a round's pool).
-_FORK_MODEL: Optional[Tuple[ModelFactory, "Module"]] = None
+# child handles this round (children never outlive a round's pool).  Keyed on
+# (factory, compute dtype) so mixed-precision runs in one process never share
+# a wrong-dtype scratch model.
+_FORK_MODEL: Optional[Tuple[ModelFactory, str, "Module"]] = None
 
 
 def _fork_client(position: int) -> ClientResult:
     """Process-pool entry point: train the round's ``position``-th client."""
     global _FORK_MODEL
     strategy, model_fn, selected, global_state, context = _FORK_JOB
-    if _FORK_MODEL is None or _FORK_MODEL[0] is not model_fn:
-        _FORK_MODEL = (model_fn, model_fn())
-    result = run_client(strategy, _FORK_MODEL[1], selected[position],
+    dtype = getattr(context.config, "dtype", "float64")
+    if (_FORK_MODEL is None or _FORK_MODEL[0] is not model_fn
+            or _FORK_MODEL[1] != dtype):
+        with engine_scope(context.config):
+            _FORK_MODEL = (model_fn, dtype, model_fn())
+    result = run_client(strategy, _FORK_MODEL[2], selected[position],
                         global_state, context)
     # The only pickled payload: make the weights contiguous owned arrays so
     # the transfer back to the server is cheap and alias-free.
@@ -434,6 +451,7 @@ def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
     assert static is not None, "worker forked without a staged (strategy, model_fn)"
     strategy, model_fn = static
     model: Optional["Module"] = None
+    model_dtype: Optional[str] = None
     layout: Optional[StateLayout] = None
     shm_name: Optional[str] = None
     shm_vector: Optional[np.ndarray] = None
@@ -451,11 +469,17 @@ def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
                 from .strategies.base import FLContext
 
                 header = message[1]
-                layout = StateLayout.from_keys_shapes(header["keys"], header["shapes"])
+                layout = StateLayout.from_keys_shapes(
+                    header["keys"], header["shapes"],
+                    dtype=np.dtype(header.get("dtype", "<f8")))
                 if shm_name != header["shm_name"]:
+                    # The segment name changes whenever the server re-creates
+                    # the segment — including on a dtype change — so keying
+                    # the mapping on the name alone stays sufficient.
                     shm_name = header["shm_name"]
-                    shm_vector = np.memmap("/dev/shm/" + shm_name, dtype=np.float64,
-                                           mode="r", shape=(layout.size,))
+                    shm_vector = np.memmap("/dev/shm/" + shm_name,
+                                           dtype=layout.dtype, mode="r",
+                                           shape=(layout.size,))
                 ema = EMALossTracker(alpha=header["config"].ema_alpha)
                 ema.load_state_dict(header["ema"])
                 round_context = FLContext(
@@ -472,8 +496,11 @@ def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
                 # Safe because client_update treats global_state as read-only
                 # and model loading copies values in (load_state_dict).
                 global_state = layout.unpack(np.asarray(shm_vector))
-                if model is None:
-                    model = model_fn()
+                dtype = getattr(round_context.config, "dtype", "float64")
+                if model is None or model_dtype != dtype:
+                    with engine_scope(round_context.config):
+                        model = model_fn()
+                    model_dtype = dtype
                 result = run_client(strategy, model, spec, global_state,
                                     round_context)
                 vector = layout.pack(result.state)
@@ -583,15 +610,18 @@ class SharedMemoryExecutor(ClientExecutor):
 
     # -- broadcast segment ------------------------------------------------ #
     def _ensure_segment(self, layout: StateLayout) -> None:
-        if self._segment is not None and self._segment_size == layout.size:
+        # Keyed on (element count, dtype): a dtype flip re-creates the segment
+        # (fresh name), which is what tells workers to re-map it.
+        if (self._segment is not None and self._segment_size == layout.size
+                and self._segment_vector.dtype == layout.dtype):
             return
         self._release_segment()
         from multiprocessing import shared_memory
 
         self._segment = shared_memory.SharedMemory(
-            create=True, size=layout.size * np.dtype(np.float64).itemsize)
+            create=True, size=layout.size * layout.dtype.itemsize)
         self._segment_size = layout.size
-        self._segment_vector = np.ndarray((layout.size,), dtype=np.float64,
+        self._segment_vector = np.ndarray((layout.size,), dtype=layout.dtype,
                                           buffer=self._segment.buf)
 
     def _release_segment(self) -> None:
@@ -627,6 +657,7 @@ class SharedMemoryExecutor(ClientExecutor):
             "shm_name": self._segment.name,
             "keys": list(layout.keys),
             "shapes": [tuple(shape) for shape in layout.shapes],
+            "dtype": layout.dtype.str,
             "config": context.config,
             "ema": context.ema.state_dict(),
             "round_index": context.round_index,

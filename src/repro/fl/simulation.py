@@ -32,7 +32,7 @@ import numpy as np
 from ..core.ema import EMALossTracker
 from ..data.dataset import ArrayDataset
 from ..data.partition import ClientSpec
-from ..nn.engine import engine_mode
+from ..nn.engine import engine_scope
 from ..nn.layers import Module
 from ..nn.serialization import get_weights, set_weights
 from ..obs import Tracer, merge_client_spans
@@ -215,7 +215,8 @@ class FederatedSimulation:
             self._executor = executor
             self._owns_executor = False
 
-        self._global_state: StateDict = get_weights(model_fn())
+        with engine_scope(config):
+            self._global_state: StateDict = get_weights(model_fn())
         self.context = FLContext(
             config=config,
             ema=EMALossTracker(alpha=config.ema_alpha),
@@ -247,7 +248,8 @@ class FederatedSimulation:
 
     def global_model(self) -> Module:
         """A model instance loaded with the current global weights."""
-        model = self.model_fn()
+        with engine_scope(self.config):
+            model = self.model_fn()
         set_weights(model, self._global_state)
         return model
 
@@ -352,7 +354,7 @@ class FederatedSimulation:
                 stream = self._executor.iter_round(
                     self.strategy, self.model_fn, selected, self.global_state, self.context
                 )
-                with engine_mode(self.config.train_engine):
+                with engine_scope(self.config):
                     self._global_state, results = self.strategy.aggregate_stream(
                         self._global_state, selected, stream, self.context)
                     self.strategy.on_round_end(self.context, results)
@@ -363,7 +365,7 @@ class FederatedSimulation:
                     self.strategy, self.model_fn, selected, self.global_state, self.context
                 )
             with self._obs_span("aggregate", round=round_index):
-                with engine_mode(self.config.train_engine):
+                with engine_scope(self.config):
                     self._global_state = self.strategy.aggregate(
                         self._global_state, results, self.context)
                     self.strategy.on_round_end(self.context, results)
@@ -399,10 +401,13 @@ class FederatedSimulation:
         """Evaluate the current global model on every per-device test set."""
         with self._obs_span("evaluate", devices=len(self.test_sets)):
             model = self.global_model()
-            metrics = {
-                device: evaluate_metric(model, dataset, self.config.task)
-                for device, dataset in self.test_sets.items()
-            }
+            # Evaluation forwards under the same engine scope as training so
+            # test batches are fed to the model in its own compute dtype.
+            with engine_scope(self.config):
+                metrics = {
+                    device: evaluate_metric(model, dataset, self.config.task)
+                    for device, dataset in self.test_sets.items()
+                }
         if self._active_callbacks is not None:
             self._active_callbacks.on_evaluate(self, self.context.round_index, metrics)
         return metrics

@@ -102,8 +102,11 @@ class QFedAvg(Strategy):
         # sqrt-then-square round trip, so h_k matches bit-for-bit.
         layout = StateLayout(global_state)
         global_vec = layout.pack(global_state)
+        # The running sum always accumulates in float64 (cast back to the
+        # compute dtype once on commit below); the pack buffer keeps the
+        # states' own dtype so promotion happens inside the multiply-add.
         weighted_delta_sum = np.zeros(layout.size, dtype=np.float64)
-        delta_buf = np.empty(layout.size, dtype=np.float64)
+        delta_buf = np.empty(layout.size, dtype=layout.dtype)
         h_sum = 0.0
         consumed: List[ClientResult] = []
         for result in ordered:
@@ -116,8 +119,9 @@ class QFedAvg(Strategy):
             # client's data), as in the q-FFL formulation.
             loss = max(result.init_loss, 1e-10)
             loss_pow_q = loss ** self.q
-            norm = float(np.sqrt(sum(float(np.sum(segment ** 2))
-                                     for _, segment in layout.segments(delta))))
+            norm = float(np.sqrt(sum(
+                float(np.sum(np.asarray(segment, dtype=np.float64) ** 2))
+                for _, segment in layout.segments(delta))))
             delta_norm_sq = norm ** 2
             h_k = self.q * (loss ** (self.q - 1.0)) * delta_norm_sq + lipschitz * loss_pow_q
             weighted_delta_sum += delta * loss_pow_q
@@ -125,7 +129,10 @@ class QFedAvg(Strategy):
         if h_sum <= 0:
             raise RuntimeError("q-FedAvg aggregation produced a non-positive normalizer")
         update = weighted_delta_sum * (1.0 / h_sum)
-        return layout.unpack(global_vec - update), consumed
+        new_vec = global_vec - update
+        if new_vec.dtype != layout.dtype:
+            new_vec = new_vec.astype(layout.dtype)
+        return layout.unpack(new_vec), consumed
 
     def _reduce_reference(
         self,

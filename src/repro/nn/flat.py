@@ -1,7 +1,8 @@
 """Contiguous flat-parameter arena for the NumPy neural-network substrate.
 
-A :class:`FlatParams` owns one contiguous float64 vector holding *all* of a
-model's trainable parameters; every :class:`~repro.nn.layers.Parameter`'s
+A :class:`FlatParams` owns one contiguous vector — in the engine's compute
+dtype (float64 by default, float32 under ``dtype_mode("float32")``) —
+holding *all* of a model's trainable parameters; every :class:`~repro.nn.layers.Parameter`'s
 ``.data`` becomes a reshaped view into that vector.  Because NumPy views
 share memory, all existing in-place code paths (``param.data -= ...`` in the
 optimizers, ``param.data[...] = value`` in ``load_state_dict``, SCAFFOLD's
@@ -27,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .engine import current_dtype
 from .layers import Module, Parameter
 
 __all__ = ["FlatParams", "flat_arena_of"]
@@ -65,16 +67,21 @@ class FlatParams:
         self.names: Optional[List[str]] = list(names) if names is not None else None
         self.module = module
 
+        dtype = current_dtype()
         offsets: List[int] = []
         total = 0
         for param in self.params:
-            if param.data.dtype != np.float64:
-                raise TypeError("flat arena requires float64 parameters")
+            if param.data.dtype != dtype:
+                raise TypeError(
+                    f"flat arena requires parameters in the engine compute "
+                    f"dtype {dtype} (got {param.data.dtype}); build the model "
+                    f"under the matching dtype_mode/engine_scope")
             offsets.append(total)
             total += param.data.size
         self.offsets: List[int] = offsets
         self.size = total
-        self.vector: np.ndarray = np.empty(total, dtype=np.float64)
+        self.dtype: np.dtype = dtype
+        self.vector: np.ndarray = np.empty(total, dtype=dtype)
 
         self._views: List[np.ndarray] = []
         for param, offset in zip(self.params, offsets):
@@ -149,7 +156,7 @@ class FlatParams:
             return None, any_grad
         buf = self._grad_buf
         if buf is None:
-            buf = self._grad_buf = np.empty(self.size, dtype=np.float64)
+            buf = self._grad_buf = np.empty(self.size, dtype=self.dtype)
         for param, offset in zip(self.params, self.offsets):
             grad = param.grad
             buf[offset : offset + grad.size] = grad.reshape(-1)
@@ -175,7 +182,7 @@ class FlatParams:
         for name, view in zip(names, self._views):
             if name not in state:
                 raise KeyError(f"missing parameter '{name}' in state dict")
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=self.dtype)
             if value.shape != view.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': {value.shape} vs {view.shape}"

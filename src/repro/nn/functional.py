@@ -247,11 +247,20 @@ def _col2im_dispatch(
     # as one batch-wide scatter — without materialising an (N*F*P) offset
     # target array on every backward call.
     flat_ravel = flat.reshape(-1)
+    # np.bincount computes (and returns) float64 regardless of the weights'
+    # dtype, so under float32 the cast is hoisted: one batch-wide upcast of
+    # the contributions, one downcast of the scattered result — elementwise
+    # identical to casting each image's bincount individually, but without a
+    # per-image float64 temporary + copy inside every bincount call.
     weights = cols.reshape(n, -1)
-    x_padded = np.empty((n, per_image), dtype=cols.dtype)
+    if weights.dtype != np.float64:
+        weights = weights.astype(np.float64)
+    x_padded = np.empty((n, per_image), dtype=np.float64)
     for image in range(n):
         x_padded[image] = np.bincount(flat_ravel, weights=weights[image],
                                       minlength=per_image)
+    if cols.dtype != np.float64:
+        x_padded = x_padded.astype(cols.dtype)
     x_padded = x_padded.reshape(n, c, hp, wp)
     if ph or pw:
         return x_padded[:, :, ph : ph + h, pw : pw + w]
@@ -768,11 +777,11 @@ def _cross_entropy_fused(logits: Tensor, targets: np.ndarray) -> Tensor:
     def backward(grad: np.ndarray, out: Tensor) -> None:
         # Replicates the composed chain: negate -> mean -> gather-scatter ->
         # broadcast-add (row sum) -> log -> sum (broadcast) -> exp -> shift.
-        g_picked = np.broadcast_to((-grad) * (1.0 / n), (n,)).astype(np.float64)
-        scatter = np.zeros((n, num_classes), dtype=np.float64)
+        g_picked = np.broadcast_to((-grad) * (1.0 / n), (n,)).astype(x.dtype)
+        scatter = np.zeros((n, num_classes), dtype=x.dtype)
         scatter[rows, targets] = g_picked
         g_logsum = -scatter.sum(axis=1, keepdims=True)
-        g_exp = np.broadcast_to(g_logsum / sumexp, (n, num_classes)).astype(np.float64)
+        g_exp = np.broadcast_to(g_logsum / sumexp, (n, num_classes)).astype(x.dtype)
         out._send(logits, scatter + g_exp * ex)
 
     out = Tensor._make(np.asarray(out_data), (logits,), lambda g: backward(g, out))
@@ -798,7 +807,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
 
     Uses the standard ``max(x, 0) - x*t + log(1 + exp(-|x|))`` formulation.
     """
-    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    targets_t = Tensor(np.asarray(targets, dtype=logits.data.dtype))
     # max(x, 0) and |x| are expressed through differentiable ops so gradients
     # flow: max(x, 0) = relu(x); |x| = relu(x) + relu(-x).
     relu_pos = logits.relu()
@@ -810,11 +819,11 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
 
 def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
     """Mean squared error."""
-    diff = pred - Tensor(np.asarray(targets, dtype=np.float64))
+    diff = pred - Tensor(np.asarray(targets, dtype=pred.data.dtype))
     return (diff * diff).mean()
 
 
 def l1_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
     """Mean absolute error (implemented via sqrt of squared error per element)."""
-    diff = pred - Tensor(np.asarray(targets, dtype=np.float64))
+    diff = pred - Tensor(np.asarray(targets, dtype=pred.data.dtype))
     return ((diff * diff) + 1e-12).sqrt().mean()

@@ -15,6 +15,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .engine import current_dtype
 from .tensor import Tensor
 
 __all__ = [
@@ -82,7 +83,7 @@ class Module:
     # -- parameter access --------------------------------------------------------
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register a non-trainable array that is part of the module state."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=current_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
@@ -129,7 +130,7 @@ class Module:
         for name, param in params.items():
             if name not in state:
                 raise KeyError(f"missing parameter '{name}' in state dict")
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': {value.shape} vs {param.data.shape}"
@@ -142,7 +143,7 @@ class Module:
         for name in list(self._buffers.keys()):
             full = f"{prefix}{name}"
             if full in state:
-                value = np.asarray(state[full], dtype=np.float64)
+                value = np.asarray(state[full], dtype=self._buffers[name].dtype)
                 self._buffers[name][...] = value.reshape(self._buffers[name].shape)
         for mod_name, module in self._modules.items():
             module._load_buffers(state, prefix=f"{prefix}{mod_name}.")

@@ -144,7 +144,7 @@ class SGD(Optimizer):
         if self.momentum:
             velocity = self._velocity_flat
             if velocity is None:
-                velocity = self._velocity_flat = np.zeros(flat.size, dtype=np.float64)
+                velocity = self._velocity_flat = np.zeros(flat.size, dtype=flat.dtype)
             velocity *= self.momentum
             velocity += grad
             update = velocity
@@ -156,7 +156,7 @@ class SGD(Optimizer):
         flat = self._flat
         velocity_flat = self._velocity_flat
         if self.momentum and velocity_flat is None:
-            velocity_flat = self._velocity_flat = np.zeros(flat.size, dtype=np.float64)
+            velocity_flat = self._velocity_flat = np.zeros(flat.size, dtype=flat.dtype)
         for index, param in enumerate(self.params):
             if param.grad is None:
                 continue
@@ -220,9 +220,13 @@ class ProximalSGD(SGD):
 
     def set_reference(self, reference: Iterable[np.ndarray]) -> None:
         """Record the global weights ``w_global`` for the proximal term."""
-        self._reference = [np.asarray(r, dtype=np.float64).copy() for r in reference]
-        if len(self._reference) != len(self.params):
+        reference = list(reference)
+        if len(reference) != len(self.params):
             raise ValueError("reference length does not match parameter count")
+        self._reference = [
+            np.asarray(r, dtype=p.data.dtype).copy()
+            for r, p in zip(reference, self.params)
+        ]
         for ref, param in zip(self._reference, self.params):
             if ref.shape != param.data.shape:
                 raise ValueError(

@@ -32,6 +32,7 @@ __all__ = [
     "set_weights",
     "clone_state",
     "states_equal",
+    "states_allclose",
     "zeros_like_state",
     "add_states",
     "scale_state",
@@ -62,14 +63,17 @@ class StateLayout:
     def __init__(self, template: StateDict) -> None:
         self.keys = list(template)
         self.shapes = [np.asarray(template[key]).shape for key in self.keys]
+        dtypes = {np.asarray(template[key]).dtype for key in self.keys}
+        self.dtype = np.result_type(*dtypes) if dtypes else np.dtype(np.float64)
         self._finalize()
 
     @classmethod
-    def from_keys_shapes(cls, keys, shapes) -> "StateLayout":
-        """Build a layout directly from aligned key/shape sequences."""
+    def from_keys_shapes(cls, keys, shapes, dtype=np.float64) -> "StateLayout":
+        """Build a layout directly from aligned key/shape/dtype metadata."""
         layout = cls.__new__(cls)
         layout.keys = list(keys)
         layout.shapes = [tuple(shape) for shape in shapes]
+        layout.dtype = np.dtype(dtype)
         layout._finalize()
         return layout
 
@@ -80,7 +84,7 @@ class StateLayout:
         self._template = dict.fromkeys(self.keys)
 
     def pack(self, state: StateDict, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Flatten ``state`` into one float64 vector in layout order.
+        """Flatten ``state`` into one vector (in the layout's dtype) in layout order.
 
         Every entry must match the layout's recorded shape exactly.  A
         same-size-but-wrong-shape entry (e.g. ``(1, 4)`` where the layout
@@ -91,11 +95,11 @@ class StateLayout:
         """
         _check_keys(self._template, state)
         if out is None:
-            out = np.empty(self.size, dtype=np.float64)
+            out = np.empty(self.size, dtype=self.dtype)
         for key, shape, start, end in zip(
             self.keys, self.shapes, self.offsets[:-1], self.offsets[1:]
         ):
-            value = np.asarray(state[key], dtype=np.float64)
+            value = np.asarray(state[key], dtype=out.dtype)
             if value.shape != shape:
                 raise ValueError(
                     f"shape mismatch for '{key}': got {value.shape}, "
@@ -180,6 +184,74 @@ def states_equal(a: StateDict, b: StateDict) -> bool:
     return True
 
 
+def _ulp_keys(arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Map float bits to monotonically increasing unsigned keys.
+
+    The standard IEEE-754 total-order transform: flip all bits of negatives,
+    set the top bit of non-negatives.  Adjacent representable floats land on
+    adjacent keys, so a key difference *is* the ULP distance.
+    """
+    utype = np.uint32 if dtype == np.dtype(np.float32) else np.uint64
+    bits = np.ascontiguousarray(arr, dtype=dtype).view(utype)
+    top = utype(1) << utype(utype().itemsize * 8 - 1)
+    return np.where(bits & top, ~bits, bits | top)
+
+
+def _max_ulp(x: np.ndarray, y: np.ndarray) -> int:
+    """Largest per-element ULP distance between two same-shape float arrays."""
+    if x.size == 0:
+        return 0
+    dtype = np.promote_types(x.dtype, y.dtype)
+    if dtype != np.dtype(np.float32):
+        dtype = np.dtype(np.float64)
+    kx, ky = _ulp_keys(x, dtype), _ulp_keys(y, dtype)
+    return int((np.maximum(kx, ky) - np.minimum(kx, ky)).max())
+
+
+def states_allclose(
+    a: StateDict, b: StateDict, rtol: float = 1e-5, atol: float = 1e-8
+) -> bool:
+    """Tolerance-based state equality for cross-precision comparisons.
+
+    The float32 engine cannot promise the bitwise identity
+    :func:`states_equal` pins for the float64 golden path, so the float32
+    equivalence suites compare against the float64 run with this helper
+    instead.  Keys must match exactly (KeyError otherwise) and every entry's
+    shape must match (ValueError); entries are then compared with
+    ``np.allclose`` under ``rtol``/``atol``.  Returns ``True`` when all
+    entries are within tolerance; raises ``AssertionError`` carrying a
+    per-key report — max absolute error, max relative error and max ULP
+    distance — for every entry that is not, so a failing equivalence test
+    says *how far* the precisions drifted, not just that they did.
+    """
+    _check_keys(a, b)
+    failures = []
+    for key in a:
+        x, y = np.asarray(a[key]), np.asarray(b[key])
+        if x.shape != y.shape:
+            raise ValueError(
+                f"shape mismatch for '{key}': {x.shape} vs {y.shape}"
+            )
+        if np.allclose(x, y, rtol=rtol, atol=atol):
+            continue
+        xf = x.astype(np.float64)
+        yf = y.astype(np.float64)
+        abs_err = np.abs(xf - yf)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel_err = np.where(abs_err > 0.0, abs_err / np.abs(yf), 0.0)
+        failures.append(
+            f"'{key}': max abs err {abs_err.max():.3e}, "
+            f"max rel err {np.nanmax(rel_err):.3e}, "
+            f"max ulp {_max_ulp(x, y)}"
+        )
+    if failures:
+        raise AssertionError(
+            f"states differ beyond rtol={rtol:g} atol={atol:g}:\n  "
+            + "\n  ".join(failures)
+        )
+    return True
+
+
 def zeros_like_state(state: StateDict) -> StateDict:
     """Return a state dict of zeros with the same structure."""
     return {key: np.zeros_like(value) for key, value in state.items()}
@@ -246,6 +318,14 @@ class StreamingAverager:
     as :func:`average_states` (states outermost, starting from zeros, weights
     normalized up front), so streaming is bitwise-identical to materializing
     the full list first.
+
+    Precision: the running accumulator is **always float64**, whatever the
+    input states' compute dtype; the result is cast back to the input dtype
+    exactly once in :meth:`finalize`.  Under the float64 golden path the
+    accumulate-then-cast is a bitwise no-op, and under float32 the reduction
+    over many clients keeps full double precision until the single commit
+    cast — the "accumulate in float64, cast on commit" rule every aggregation
+    primitive in this repository follows (pinned in tests/nn/test_dtype.py).
     """
 
     def __init__(self, count: int, weights: Iterable[float] | None = None) -> None:
@@ -256,6 +336,7 @@ class StreamingAverager:
         self._index = 0
         self._reference = current_engine() == "reference"
         self._result: Optional[StateDict] = None
+        self._dtypes: Optional[Dict[str, np.dtype]] = None
         self._layout: Optional[StateLayout] = None
         self._accumulator: Optional[np.ndarray] = None
         self._buffer: Optional[np.ndarray] = None
@@ -266,19 +347,30 @@ class StreamingAverager:
             raise ValueError(f"received more states than the declared {self._count}")
         weight = self._weights[self._index]
         if self._reference:
-            # Seed path: per-key accumulation, clients outermost.
+            # Seed path: per-key accumulation, clients outermost.  The
+            # accumulator is float64 regardless of the state dtype (a no-op
+            # for the float64 golden path); the original per-key dtypes are
+            # recorded and restored once in finalize().
             if self._result is None:
-                self._result = zeros_like_state(state)
+                self._result = {
+                    key: np.zeros_like(value, dtype=np.float64)
+                    for key, value in state.items()
+                }
+                self._dtypes = {
+                    key: np.asarray(value).dtype for key, value in state.items()
+                }
             _check_keys(self._result, state)
             for key in self._result:
                 self._result[key] += weight * state[key]
         else:
             # Flat reduction: pack the state into the one reused buffer and
-            # accumulate over the whole vector.
+            # accumulate over the whole vector (always in float64; the
+            # buffer keeps the states' own dtype so the promotion happens
+            # inside the multiply-add, not per input element).
             if self._layout is None:
                 self._layout = StateLayout(state)
                 self._accumulator = np.zeros(self._layout.size, dtype=np.float64)
-                self._buffer = np.empty(self._layout.size, dtype=np.float64)
+                self._buffer = np.empty(self._layout.size, dtype=self._layout.dtype)
             self._layout.pack(state, out=self._buffer)
             self._accumulator += weight * self._buffer
         self._index += 1
@@ -290,8 +382,14 @@ class StreamingAverager:
                 f"expected {self._count} states, received {self._index}"
             )
         if self._reference:
-            return self._result
-        return self._layout.unpack(self._accumulator)
+            return {
+                key: value if value.dtype == self._dtypes[key]
+                else value.astype(self._dtypes[key])
+                for key, value in self._result.items()
+            }
+        if self._layout.dtype == np.float64:
+            return self._layout.unpack(self._accumulator)
+        return self._layout.unpack(self._accumulator.astype(self._layout.dtype))
 
 
 def average_states(states: Sequence[StateDict], weights: Iterable[float] | None = None) -> StateDict:
@@ -311,8 +409,15 @@ def average_states(states: Sequence[StateDict], weights: Iterable[float] | None 
 
 
 def state_norm(state: StateDict) -> float:
-    """L2 norm of the flattened state (used by q-FedAvg's Lipschitz estimate)."""
-    return float(np.sqrt(sum(float(np.sum(value ** 2)) for value in state.values())))
+    """L2 norm of the flattened state (used by q-FedAvg's Lipschitz estimate).
+
+    Squares and sums in float64 whatever the state's compute dtype (a no-op
+    for the float64 golden path), following the accumulate-in-float64 rule.
+    """
+    return float(np.sqrt(sum(
+        float(np.sum(np.asarray(value, dtype=np.float64) ** 2))
+        for value in state.values()
+    )))
 
 
 def save_state(path, state: StateDict) -> None:

@@ -19,6 +19,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .engine import _ENGINE as _engine_state
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
@@ -56,7 +58,12 @@ def is_grad_enabled() -> bool:
     return _GRAD_MODE.enabled
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    if dtype is None:
+        # The engine's thread-local compute dtype (float64 unless a
+        # dtype_mode/engine_scope selects float32); imported lazily at call
+        # sites via the module attribute to keep this hot path cheap.
+        dtype = _engine_state.dtype
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
             return data.astype(dtype)
@@ -88,8 +95,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Stored as ``float64`` by default for numerical
-        robustness of the small-scale experiments in this repository.
+        Array-like payload.  Stored in the engine's thread-local compute
+        dtype — ``float64`` by default for numerical robustness of the
+        small-scale experiments in this repository, or ``float32`` inside a
+        :class:`repro.nn.engine.dtype_mode` / ``engine_scope`` block.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.

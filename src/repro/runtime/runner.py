@@ -37,7 +37,7 @@ from ..fl.strategies import create_strategy
 from ..data.partition import build_client_specs
 from ..nn.layers import Module
 from ..obs import Tracer, export_run_obs
-from ..store import RunStore
+from ..store import CheckpointError, RunStore
 from .registries import (
     CALLBACK_REGISTRY,
     EXECUTOR_REGISTRY,
@@ -51,6 +51,25 @@ from .spec import RunSpec
 __all__ = ["Runner", "RunResult", "run_spec"]
 
 _SUMMARY_KEYS = ("worst_case", "variance", "average")
+
+
+def _check_checkpoint_dtype(snapshot: Dict[str, Any], dtype_name: str) -> None:
+    """Refuse to resume a run whose checkpoint was written under another dtype.
+
+    Checkpoints are dtype-exact (the npz codec preserves array dtypes), so a
+    checkpoint written by a float32 run cannot seed a float64 run (or vice
+    versa) without silently changing the numerics mid-run.  Both the sync and
+    async snapshot formats carry the weights under ``"global_state"``.
+    """
+    expected = np.dtype(dtype_name)
+    state = snapshot.get("global_state") or {}
+    wrong = sorted({str(np.asarray(value).dtype) for value in state.values()}
+                   - {str(expected)})
+    if wrong:
+        raise CheckpointError(
+            f"checkpoint holds {', '.join(wrong)} weights but this run's config "
+            f"dtype is '{dtype_name}'; cross-dtype resume is refused — restart "
+            f"the run fresh or keep the original dtype")
 
 
 @dataclass
@@ -199,6 +218,9 @@ class Runner:
                 if entry.has_result():
                     return history_from_dict(entry.load_result()["history"])
                 snapshot = entry.load_checkpoint()
+                if snapshot is not None:
+                    _check_checkpoint_dtype(
+                        snapshot, spec.config_overrides.get("dtype", "float64"))
 
         # Tracing/profiling are result-neutral config overrides; the tracer is
         # created here (not inside the simulation) so it also covers dataset
