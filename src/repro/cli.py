@@ -143,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="run-store directory (default: runs)")
     trace_parser.add_argument("--top", type=int, default=10, metavar="K",
                               help="show the K most expensive kernels (default: 10)")
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="summarize a stored run's failures, retries and drops")
+    faults_parser.add_argument("run_id", help="run id as printed by 'runs list'")
+    faults_parser.add_argument("--store", default="runs",
+                               help="run-store directory (default: runs)")
     return parser
 
 
@@ -401,6 +407,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "trace":
         return _trace_command(args)
 
+    if args.command == "faults":
+        return _faults_command(args)
+
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 
@@ -461,6 +470,59 @@ def _trace_command(args: argparse.Namespace) -> int:
                         ("summary", entry.obs_summary_path)):
         if path.exists():
             print(f"{label}: {path}")
+    return 0
+
+
+def _print_fault_summary(faults: dict) -> None:
+    """Render a history's ``metadata["faults"]`` block (one run/seed)."""
+    kinds = faults.get("failure_kinds", {})
+    kind_text = ", ".join(f"{kind}={count}"
+                          for kind, count in sorted(kinds.items()))
+    print(f"failures: {faults.get('total_failures', 0)}  "
+          f"retries: {faults.get('total_retries', 0)}  "
+          f"dropped clients: {faults.get('total_dropped', 0)}  "
+          f"degraded rounds: {faults.get('degraded_rounds', 0)}")
+    if kind_text:
+        print(f"failure kinds: {kind_text}")
+
+
+def _faults_command(args: argparse.Namespace) -> int:
+    """Implement ``faults RUN_ID``: per-round fault table for a stored run."""
+    store = RunStore(args.store)
+    try:
+        entry = store.get(args.run_id)
+    except RunStoreError as exc:
+        print(f"error: {_message(exc)}", file=sys.stderr)
+        return 2
+    if not entry.has_result():
+        print(f"error: run '{args.run_id}' has no result yet", file=sys.stderr)
+        return 2
+    try:
+        result = entry.load_result()
+    except RunStoreError as exc:
+        print(f"error: {_message(exc)}", file=sys.stderr)
+        return 2
+    history = result.get("history", {})
+    rounds = history.get("rounds", [])
+    print(f"run: {entry.run_id}")
+    faulty = [r for r in rounds if r.get("num_failures")]
+    if not faulty:
+        print("no failures recorded (fault-free run, or no fault policy set)")
+        return 0
+    rows = []
+    for record in faulty:
+        kinds = ", ".join(f"{kind}={count}" for kind, count
+                          in sorted(record.get("failure_kinds", {}).items()))
+        dropped = record.get("dropped_clients", [])
+        rows.append([record["round_index"], record["num_failures"],
+                     record.get("num_retries", 0),
+                     ",".join(str(c) for c in dropped) or "-",
+                     kinds or "-"])
+    print(format_table(["round", "failures", "retries", "dropped", "kinds"],
+                       rows))
+    faults = history.get("metadata", {}).get("faults")
+    if faults:
+        _print_fault_summary(faults)
     return 0
 
 
@@ -525,6 +587,11 @@ def _runs_command(args: argparse.Namespace) -> int:
                   f"lost: {meta.get('updates_lost', '?')}")
             print(f"staleness: mean {meta.get('mean_staleness', 0.0):.2f}, "
                   f"max {meta.get('max_staleness', 0)}")
+        faults = history.get("metadata", {}).get("faults")
+        if faults:
+            print("faults:")
+            _print_fault_summary(faults)
+            print(f"  ('repro faults {entry.run_id}' for the per-round table)")
         print(format_table(["device", "metric"],
                            sorted(result["metrics"].items())))
     if entry.obs_summary_path.exists():

@@ -5,12 +5,20 @@ from .callbacks import (
     Callback,
     CallbackList,
     EarlyStopping,
+    FaultTelemetry,
     PeriodicEvaluation,
     RoundLogger,
     SwitchTelemetry,
     create_callback,
 )
 from .config import FLConfig
+from .errors import (
+    ClientFailure,
+    ExecutorError,
+    RoundFailedError,
+    RoundTimeout,
+    WorkerDied,
+)
 from .execution import (
     EXECUTOR_REGISTRY,
     ClientExecutor,
@@ -20,6 +28,13 @@ from .execution import (
     client_rng,
     create_executor,
     derive_client_seed,
+)
+from .faults import (
+    FaultPlan,
+    FaultPolicy,
+    RoundFaultReport,
+    run_tolerant_round,
+    sanitize_result,
 )
 from .metrics import (
     accuracy,
@@ -81,9 +96,20 @@ __all__ = [
     "create_executor",
     "derive_client_seed",
     "client_rng",
+    "ExecutorError",
+    "ClientFailure",
+    "WorkerDied",
+    "RoundTimeout",
+    "RoundFailedError",
+    "FaultPlan",
+    "FaultPolicy",
+    "RoundFaultReport",
+    "run_tolerant_round",
+    "sanitize_result",
     "Callback",
     "CallbackList",
     "SwitchTelemetry",
+    "FaultTelemetry",
     "PeriodicEvaluation",
     "EarlyStopping",
     "RoundLogger",

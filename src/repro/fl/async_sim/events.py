@@ -47,6 +47,18 @@ _STREAMS = {
     "tiebreak": 5,      # heap tie-breaking
 }
 
+# The fault-injection layer (repro.fl.faults) draws from the same namespace;
+# merge its tags in with a collision check so a fault draw can never alias an
+# event draw at the same seed.  The import points faults -> here-free: faults
+# is a leaf module and never imports the async subsystem.
+from ..faults import FAULT_STREAMS as _FAULT_STREAMS  # noqa: E402
+
+_overlap = {tag for tag in _FAULT_STREAMS.values() if tag in _STREAMS.values()}
+if _overlap:  # pragma: no cover - tripped only by a bad future edit
+    raise RuntimeError(
+        f"fault stream tags collide with event stream tags: {sorted(_overlap)}")
+_STREAMS.update(_FAULT_STREAMS)
+
 
 def event_rng(seed: int, stream: str, *indices: int) -> np.random.Generator:
     """A fresh generator on a named per-identity stream.

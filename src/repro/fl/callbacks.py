@@ -36,6 +36,7 @@ __all__ = [
     "Callback",
     "CallbackList",
     "SwitchTelemetry",
+    "FaultTelemetry",
     "PeriodicEvaluation",
     "EarlyStopping",
     "RoundLogger",
@@ -159,6 +160,50 @@ class SwitchTelemetry(Callback):
         # earlier record — so the totals stay identical to an uninterrupted run.
         history.metadata["total_switch1"] = sum(r.num_switch1 for r in history.rounds)
         history.metadata["total_switch2"] = sum(r.num_switch2 for r in history.rounds)
+
+
+class FaultTelemetry(Callback):
+    """Counts failures/retries/drops and records run-level fault totals.
+
+    Per-round counts already live on each :class:`RoundRecord` (filled by the
+    fault-tolerant path in ``run_round``); this callback streams them into a
+    :class:`repro.obs.MetricsRegistry` (labeled ``client_failures`` counters,
+    one series per failure kind, plus ``client_retries`` and
+    ``dropped_clients``) and, like :class:`SwitchTelemetry`, derives run
+    totals from the *history* at run end — so a run resumed from a checkpoint
+    reports the same totals as an uninterrupted one.  ``history.metadata``
+    gains a ``"faults"`` block only when something actually failed, keeping
+    fault-free histories byte-identical to runs without the callback.
+    """
+
+    name = "fault_telemetry"
+
+    def __init__(self) -> None:
+        from ..obs import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+
+    def on_round_end(self, sim, record, results) -> None:
+        for kind, count in record.failure_kinds.items():
+            self.metrics.counter("client_failures", kind=kind).inc(count)
+        self.metrics.counter("client_retries").inc(record.num_retries)
+        self.metrics.counter("dropped_clients").inc(len(record.dropped_clients))
+
+    def on_run_end(self, sim, history) -> None:
+        rounds = [r for r in history.rounds if getattr(r, "num_failures", 0)]
+        if not rounds:
+            return
+        kinds: Dict[str, int] = {}
+        for record in rounds:
+            for kind, count in record.failure_kinds.items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        history.metadata["faults"] = {
+            "total_failures": sum(r.num_failures for r in rounds),
+            "total_retries": sum(r.num_retries for r in rounds),
+            "total_dropped": sum(len(r.dropped_clients) for r in rounds),
+            "degraded_rounds": sum(1 for r in rounds if r.dropped_clients),
+            "failure_kinds": kinds,
+        }
 
 
 class PeriodicEvaluation(Callback):
@@ -319,6 +364,7 @@ def _async_telemetry_factory(**kwargs) -> Callback:
 
 CALLBACK_REGISTRY: Registry[Callback] = Registry("callback", {
     "switch_telemetry": SwitchTelemetry,
+    "fault_telemetry": FaultTelemetry,
     "eval_every": PeriodicEvaluation,
     "early_stopping": EarlyStopping,
     "round_logger": RoundLogger,

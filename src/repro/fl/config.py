@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..nn.engine import validate_dtype, validate_engine
+from .faults import FaultPlan, FaultPolicy
 
 __all__ = ["FLConfig", "TASKS"]
 
@@ -56,6 +58,18 @@ class FLConfig:
     # hot paths and implies trace collection.
     profile: bool = False
     trace: bool = False
+    # Fault tolerance (repro.fl.faults).  ``faults`` is a seeded chaos
+    # schedule — which (round, client, attempt) jobs crash / hang / return
+    # poisoned updates / kill their worker is a pure function of its seed,
+    # so chaos runs replay bit-for-bit.  ``fault_policy`` is the server's
+    # response: per-client timeouts, bounded retries, update sanitization
+    # and quorum-based graceful degradation.  Both change results when set
+    # (degraded rounds aggregate over survivors) -> in the spec hash; both
+    # default to None, which keeps the golden path byte-for-byte unchanged.
+    # Dicts (e.g. from JSON config_overrides) are coerced to the frozen
+    # dataclasses, so FLConfig itself stays hashable.
+    faults: Optional[FaultPlan] = None
+    fault_policy: Optional[FaultPolicy] = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -80,3 +94,17 @@ class FLConfig:
             raise ValueError("profile must be a bool")
         if not isinstance(self.trace, bool):
             raise ValueError("trace must be a bool")
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultPlan(**self.faults))
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan, a dict of its fields, or None; "
+                f"got {self.faults!r}")
+        if isinstance(self.fault_policy, dict):
+            object.__setattr__(self, "fault_policy",
+                               FaultPolicy(**self.fault_policy))
+        if self.fault_policy is not None and not isinstance(self.fault_policy,
+                                                            FaultPolicy):
+            raise ValueError(
+                f"fault_policy must be a FaultPolicy, a dict of its fields, "
+                f"or None; got {self.fault_policy!r}")

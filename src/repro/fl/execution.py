@@ -48,6 +48,7 @@ import sys
 import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
 from concurrent.futures import wait as _futures_wait
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -59,10 +60,12 @@ from ..nn.engine import engine_scope
 from ..nn.serialization import StateLayout, clone_state
 from ..obs.profiling import PROFILER
 from ..registry import Registry
+from .errors import ClientFailure, ExecutorError, RoundTimeout, WorkerDied
 from .training import ClientResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (strategies import us)
     from ..nn.layers import Module
+    from .faults import FaultPolicy
     from .strategies.base import FLContext, Strategy
 
 __all__ = [
@@ -78,6 +81,13 @@ __all__ = [
     "EXECUTOR_REGISTRY",
     "create_executor",
 ]
+
+#: A (spec, attempt) pair: one client job inside a fault-tolerant wave.
+AttemptJob = Tuple[ClientSpec, int]
+
+# Exit code of a worker killed by an injected "kill" fault: distinctive in
+# logs and never produced by CPython itself.
+_KILL_EXIT_CODE = 173
 
 ModelFactory = Callable[[], "Module"]
 
@@ -119,12 +129,70 @@ def validate_max_workers(max_workers: Optional[int]) -> None:
         )
 
 
+def _inject_pre_compute_fault(fault: str, spec: ClientSpec,
+                              context: "FLContext", attempt: int,
+                              client_timeout: Optional[float]) -> None:
+    """Apply an injected fault that fires *before* the local update runs.
+
+    ``crash`` raises a :class:`ClientFailure`; ``kill`` terminates the worker
+    process mid-task (``os._exit``, bypassing every cleanup handler — the
+    realistic OOM-kill shape) or, in the main process where dying would take
+    the server down, degrades to a raised :class:`WorkerDied` so the failure
+    schedule and retry behaviour stay identical across backends; ``hang``
+    sleeps for the plan's ``hang_seconds``.  A hang is judged against the
+    policy's per-client deadline *deterministically* — configured value
+    against configured value, with the sleep capped at the deadline — so a
+    chaos run's timeouts replay bit-for-bit regardless of host speed.
+    """
+    client_id, round_index = spec.client_id, context.round_index
+    if fault == "crash":
+        raise ClientFailure(
+            f"injected crash: client {client_id} raised on attempt {attempt} "
+            f"of round {round_index}", client_id=client_id,
+            round_index=round_index, attempt=attempt, kind="crash")
+    if fault == "kill":
+        if multiprocessing.current_process().name != "MainProcess":
+            os._exit(_KILL_EXIT_CODE)
+        raise WorkerDied(
+            f"injected kill: the worker training client {client_id} died on "
+            f"attempt {attempt} of round {round_index} (simulated in-process)",
+            client_id=client_id, round_index=round_index, attempt=attempt)
+    if fault == "hang":
+        hang_seconds = context.config.faults.hang_seconds
+        if client_timeout is not None and hang_seconds >= client_timeout:
+            time.sleep(min(hang_seconds, client_timeout))
+            raise RoundTimeout(
+                f"injected hang: client {client_id} exceeded the "
+                f"{client_timeout:g}s per-client deadline on attempt "
+                f"{attempt} of round {round_index}", client_id=client_id,
+                round_index=round_index, attempt=attempt)
+        time.sleep(hang_seconds)
+
+
+def _poison_result(fault: str, result: ClientResult) -> None:
+    """Corrupt a computed update the way a buggy/hostile client would.
+
+    ``nan`` flips the first element of the first tensor to NaN (enough to
+    poison every weighted average it touches); ``shape`` prepends a unit axis
+    to the first tensor, taking it out of the global layout.  Both mutate
+    fresh copies so a shared parameter arena is never corrupted in place.
+    """
+    key = next(iter(result.state))
+    value = np.asarray(result.state[key]).copy()
+    if fault == "nan":
+        value.reshape(-1)[0] = np.nan
+        result.state[key] = value
+    else:  # "shape"
+        result.state[key] = value.reshape((1,) + value.shape)
+
+
 def run_client(
     strategy: "Strategy",
     model: "Module",
     spec: ClientSpec,
     global_state: Dict[str, np.ndarray],
     context: "FLContext",
+    attempt: int = 0,
 ) -> ClientResult:
     """Run one client's local update and stamp the provenance aggregation needs.
 
@@ -142,35 +210,95 @@ def run_client(
     cross-process collection point; the server merges the payloads into the
     run-level trace.  Purely observational: the training computation is
     identical with and without it.
+
+    This is also the single chokepoint of the fault layer, shared by every
+    backend:
+
+    * When ``config.faults`` is set, the seeded :class:`~repro.fl.faults.
+      FaultPlan` decides — as a pure function of ``(plan seed, round,
+      client, attempt)`` — whether this job crashes, hangs, returns a
+      poisoned/misshapen update, or kills its worker.  ``attempt`` feeds
+      only the fault draw, never the client's RNG stream, so a retried
+      client is bit-identical to a first-try client.
+    * Exceptions escaping ``client_update`` are wrapped into
+      :class:`~repro.fl.errors.ClientFailure` (original chained as
+      ``__cause__``) with the client/round/attempt context attached.
+    * Under a policy with ``client_timeout``, the measured wall time of a
+      genuine straggler raises :class:`~repro.fl.errors.RoundTimeout`
+      post-hoc (injected hangs are judged deterministically upstream).
     """
     config = context.config
+    plan = getattr(config, "faults", None)
+    policy = getattr(config, "fault_policy", None)
+    client_timeout = policy.client_timeout if policy is not None else None
+    fault = None
+    if plan is not None and plan.active:
+        fault = plan.decide(context.round_index, spec.client_id, attempt)
+    if fault is not None:
+        _inject_pre_compute_fault(fault, spec, context, attempt, client_timeout)
     profile = bool(getattr(config, "profile", False))
-    if not (profile or getattr(config, "trace", False)):
+    observed = profile or bool(getattr(config, "trace", False))
+    timed = observed or client_timeout is not None
+    start = time.perf_counter() if timed else 0.0
+    try:
         with engine_scope(config):
-            result = strategy.client_update(model, spec, global_state, context)
-        result.client_id = spec.client_id
-        return result
-    start = time.perf_counter()
-    with engine_scope(config):
-        if profile:
-            PROFILER.drain()  # drop residue from a previously aborted client
-            PROFILER.activate()
-            try:
-                result = strategy.client_update(model, spec, global_state, context)
-            finally:
-                PROFILER.deactivate()
-            kernels = PROFILER.drain()
-        else:
-            result = strategy.client_update(model, spec, global_state, context)
-            kernels = {}
-    duration = time.perf_counter() - start
+            if profile:
+                PROFILER.drain()  # drop residue from a previously aborted client
+                PROFILER.activate()
+                try:
+                    result = strategy.client_update(model, spec, global_state,
+                                                    context)
+                finally:
+                    PROFILER.deactivate()
+                kernels = PROFILER.drain()
+            else:
+                result = strategy.client_update(model, spec, global_state,
+                                                context)
+                kernels = {}
+    except ExecutorError:
+        raise
+    except Exception as exc:
+        raise ClientFailure(
+            f"client {spec.client_id} failed on attempt {attempt} of round "
+            f"{context.round_index}: {type(exc).__name__}: {exc}",
+            client_id=spec.client_id, round_index=context.round_index,
+            attempt=attempt) from exc
+    duration = (time.perf_counter() - start) if timed else 0.0
     result.client_id = spec.client_id
-    result.metadata["obs"] = {
-        "duration": float(duration),
-        "kernels": {name: [int(calls), float(seconds)]
-                    for name, (calls, seconds) in sorted(kernels.items())},
-    }
+    if observed:
+        result.metadata["obs"] = {
+            "duration": float(duration),
+            "kernels": {name: [int(calls), float(seconds)]
+                        for name, (calls, seconds) in sorted(kernels.items())},
+        }
+    if fault in ("nan", "shape"):
+        _poison_result(fault, result)
+    if client_timeout is not None and duration > client_timeout:
+        raise RoundTimeout(
+            f"client {spec.client_id} exceeded the {client_timeout:g}s "
+            f"per-client deadline ({duration:.3f}s) on attempt {attempt} of "
+            f"round {context.round_index}", client_id=spec.client_id,
+            round_index=context.round_index, attempt=attempt)
     return result
+
+
+def _capture_attempt(strategy: "Strategy", model: "Module", spec: ClientSpec,
+                     global_state: Dict[str, np.ndarray],
+                     context: "FLContext", attempt: int):
+    """Run one attempt, returning failures as values instead of raising.
+
+    The building block of every backend's ``run_attempts``: client-level
+    failures become :class:`~repro.fl.errors.ExecutorError` outcomes (with
+    the formatted traceback attached for cross-process diagnosis), while
+    non-``Exception`` escapes like ``KeyboardInterrupt`` still propagate.
+    """
+    try:
+        return run_client(strategy, model, spec, global_state, context,
+                          attempt=attempt)
+    except ExecutorError as exc:
+        if exc.remote_traceback is None:
+            exc.remote_traceback = traceback.format_exc()
+        return exc
 
 
 class ClientExecutor:
@@ -229,6 +357,28 @@ class ClientExecutor:
         yield from self.run_round(strategy, model_fn, selected, global_state,
                                   context)
 
+    def run_attempts(
+        self,
+        strategy: "Strategy",
+        model_fn: ModelFactory,
+        jobs: Sequence[AttemptJob],
+        global_state: Dict[str, np.ndarray],
+        context: "FLContext",
+        policy: Optional["FaultPolicy"] = None,
+    ) -> List[object]:
+        """Train one wave of ``(spec, attempt)`` jobs, capturing failures.
+
+        The fault-tolerant counterpart of :meth:`run_round`, used by
+        :func:`repro.fl.faults.run_tolerant_round`: instead of failing fast,
+        every job produces an outcome — a :class:`ClientResult` on success or
+        an :class:`~repro.fl.errors.ExecutorError` describing the failure —
+        aligned with ``jobs``.  Backends never raise for client-level faults
+        here (worker deaths included: the process backend detects lost jobs
+        via ``policy.worker_timeout``, the shm backend heals its pool in
+        place), so one bad client can never abort its round-mates.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release worker resources (idempotent; the executor stays usable)."""
 
@@ -257,11 +407,7 @@ class SerialExecutor(ClientExecutor):
         self._model: Optional["Module"] = None
         self._model_dtype: Optional[str] = None
 
-    def run_round(self, strategy, model_fn, selected, global_state, context):
-        return list(self.iter_round(strategy, model_fn, selected, global_state,
-                                    context))
-
-    def iter_round(self, strategy, model_fn, selected, global_state, context):
+    def _scratch_model(self, model_fn, context) -> "Module":
         # The scratch-model cache is keyed on (factory, compute dtype): the
         # same factory at a different precision must rebuild, or a float64
         # model would silently serve a float32 round (and vice versa).
@@ -270,8 +416,23 @@ class SerialExecutor(ClientExecutor):
             with engine_scope(context.config):
                 self._factory, self._model = model_fn, model_fn()
             self._model_dtype = dtype
+        return self._model
+
+    def run_round(self, strategy, model_fn, selected, global_state, context):
+        return list(self.iter_round(strategy, model_fn, selected, global_state,
+                                    context))
+
+    def iter_round(self, strategy, model_fn, selected, global_state, context):
+        model = self._scratch_model(model_fn, context)
         for spec in selected:
-            yield run_client(strategy, self._model, spec, global_state, context)
+            yield run_client(strategy, model, spec, global_state, context)
+
+    def run_attempts(self, strategy, model_fn, jobs, global_state, context,
+                     policy=None):
+        model = self._scratch_model(model_fn, context)
+        return [_capture_attempt(strategy, model, spec, global_state, context,
+                                 attempt)
+                for spec, attempt in jobs]
 
 
 class ThreadExecutor(ClientExecutor):
@@ -297,7 +458,7 @@ class ThreadExecutor(ClientExecutor):
             self._pool_workers = workers
         return self._pool
 
-    def _run_one(self, strategy, model_fn, spec, global_state, context):
+    def _thread_model(self, model_fn, context) -> "Module":
         cache = self._local
         dtype = getattr(context.config, "dtype", "float64")
         if (getattr(cache, "factory", None) is not model_fn
@@ -305,7 +466,17 @@ class ThreadExecutor(ClientExecutor):
             with engine_scope(context.config):
                 cache.factory, cache.model = model_fn, model_fn()
             cache.dtype = dtype
-        return run_client(strategy, cache.model, spec, global_state, context)
+        return cache.model
+
+    def _run_one(self, strategy, model_fn, spec, global_state, context):
+        model = self._thread_model(model_fn, context)
+        return run_client(strategy, model, spec, global_state, context)
+
+    def _attempt_one(self, strategy, model_fn, spec, global_state, context,
+                     attempt):
+        model = self._thread_model(model_fn, context)
+        return _capture_attempt(strategy, model, spec, global_state, context,
+                                attempt)
 
     def run_round(self, strategy, model_fn, selected, global_state, context):
         if not selected:
@@ -322,6 +493,25 @@ class ThreadExecutor(ClientExecutor):
             # ``future.result()`` at a time.  Cancel whatever has not started,
             # then drain the already-running jobs so the pool is quiescent —
             # and safely reusable — when the error propagates.
+            for future in futures:
+                future.cancel()
+            _futures_wait(futures)
+            raise
+
+    def run_attempts(self, strategy, model_fn, jobs, global_state, context,
+                     policy=None):
+        if not jobs:
+            return []
+        pool = self._ensure_pool(self._effective_workers(len(jobs)))
+        futures = [pool.submit(self._attempt_one, strategy, model_fn, spec,
+                               global_state, context, attempt)
+                   for spec, attempt in jobs]
+        try:
+            # _attempt_one captures client-level failures as values, so a
+            # result() raise here is a non-Exception escape — drain and
+            # propagate just like the fail-fast path above.
+            return [future.result() for future in futures]
+        except BaseException:
             for future in futures:
                 future.cancel()
             _futures_wait(futures)
@@ -359,21 +549,44 @@ _FORK_JOB: Optional[Tuple] = None
 _FORK_MODEL: Optional[Tuple[ModelFactory, str, "Module"]] = None
 
 
-def _fork_client(position: int) -> ClientResult:
-    """Process-pool entry point: train the round's ``position``-th client."""
+def _fork_scratch_model(model_fn: ModelFactory, context: "FLContext") -> "Module":
+    """The forked child's scratch model, built once per (factory, dtype)."""
     global _FORK_MODEL
-    strategy, model_fn, selected, global_state, context = _FORK_JOB
     dtype = getattr(context.config, "dtype", "float64")
     if (_FORK_MODEL is None or _FORK_MODEL[0] is not model_fn
             or _FORK_MODEL[1] != dtype):
         with engine_scope(context.config):
             _FORK_MODEL = (model_fn, dtype, model_fn())
-    result = run_client(strategy, _FORK_MODEL[2], selected[position],
-                        global_state, context)
+    return _FORK_MODEL[2]
+
+
+def _fork_client(position: int) -> ClientResult:
+    """Process-pool entry point: train the round's ``position``-th client."""
+    strategy, model_fn, selected, global_state, context = _FORK_JOB
+    model = _fork_scratch_model(model_fn, context)
+    result = run_client(strategy, model, selected[position], global_state,
+                        context)
     # The only pickled payload: make the weights contiguous owned arrays so
     # the transfer back to the server is cheap and alias-free.
     result.state = clone_state(result.state)
     return result
+
+
+# Handoff slot for fault-tolerant process waves (same copy-on-write trick as
+# _FORK_JOB, but the job list carries (spec, attempt) pairs).
+_FORK_ATTEMPTS: Optional[Tuple] = None
+
+
+def _fork_attempt(index: int):
+    """Process-pool entry point for one fault-tolerant attempt job."""
+    strategy, model_fn, jobs, global_state, context = _FORK_ATTEMPTS
+    spec, attempt = jobs[index]
+    model = _fork_scratch_model(model_fn, context)
+    outcome = _capture_attempt(strategy, model, spec, global_state, context,
+                               attempt)
+    if isinstance(outcome, ClientResult):
+        outcome.state = clone_state(outcome.state)
+    return outcome
 
 
 class ProcessExecutor(ClientExecutor):
@@ -416,6 +629,81 @@ class ProcessExecutor(ClientExecutor):
             _FORK_JOB = None
         return list(results)
 
+    def run_attempts(self, strategy, model_fn, jobs, global_state, context,
+                     policy=None):
+        global _FORK_ATTEMPTS
+        if not jobs:
+            return []
+        _require_fork_platform(self.name)
+        jobs = list(jobs)
+        worker_timeout = policy.worker_timeout if policy is not None else 30.0
+        workers = self._effective_workers(len(jobs))
+        mp_context = multiprocessing.get_context("fork")
+        outcomes: List[object] = [None] * len(jobs)
+        pool = None
+        try:
+            _FORK_ATTEMPTS = (strategy, model_fn, jobs, global_state, context)
+            pool = mp_context.Pool(processes=workers)
+            handles = [pool.apply_async(_fork_attempt, (index,))
+                       for index in range(len(jobs))]
+            pool.close()
+            # A worker killed mid-task (os._exit, OOM) loses its job: the
+            # pool respawns the worker and finishes the *queued* jobs, but
+            # the in-flight AsyncResult never becomes ready.  Lost jobs are
+            # therefore detected by stall: when no job completes for
+            # worker_timeout, whatever is still pending belonged to dead
+            # workers.  The deadline resets on every completion so slow
+            # healthy rounds never trip it.
+            pending = set(range(len(jobs)))
+            deadline = time.monotonic() + worker_timeout
+            while pending:
+                progressed = False
+                for index in sorted(pending):
+                    handle = handles[index]
+                    if not handle.ready():
+                        continue
+                    pending.discard(index)
+                    progressed = True
+                    try:
+                        outcomes[index] = handle.get()
+                    except ExecutorError as exc:
+                        outcomes[index] = exc
+                    except Exception as exc:
+                        spec, attempt = jobs[index]
+                        failure = ClientFailure(
+                            f"client {spec.client_id} failed on attempt "
+                            f"{attempt} of round {context.round_index}: "
+                            f"{type(exc).__name__}: {exc}",
+                            client_id=spec.client_id,
+                            round_index=context.round_index, attempt=attempt)
+                        failure.__cause__ = exc
+                        outcomes[index] = failure
+                if progressed:
+                    deadline = time.monotonic() + worker_timeout
+                elif time.monotonic() >= deadline:
+                    for index in pending:
+                        spec, attempt = jobs[index]
+                        outcomes[index] = WorkerDied(
+                            f"process worker owning client {spec.client_id} "
+                            f"died (no result within {worker_timeout:g}s) on "
+                            f"attempt {attempt} of round "
+                            f"{context.round_index}",
+                            client_id=spec.client_id,
+                            round_index=context.round_index, attempt=attempt)
+                    pool.terminate()
+                    break
+                else:
+                    time.sleep(0.01)
+        except BaseException:
+            if pool is not None:
+                pool.terminate()
+            raise
+        finally:
+            if pool is not None:
+                pool.join()
+            _FORK_ATTEMPTS = None
+        return outcomes
+
 
 # Fork handoff for the persistent shared-memory pool: the (strategy, model
 # factory) pair is staged here immediately before the workers fork and cleared
@@ -433,15 +721,22 @@ def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
       shared-memory segment holding the packed global weights plus the layout
       (keys/shapes) to interpret it, and carries the round's context snapshot
       (config, EMA state, selection, server storage).
-    * ``("client", position, spec, storage)`` — train one client; reply on the
-      shared result queue with ``("ok", worker_index, position, vector,
-      num_samples, train_loss, init_loss, client_id, metadata)`` where
-      ``vector`` is the layout-packed update — the model weights themselves
-      never travel back as a dict.
+    * ``("client", position, spec, storage, attempt)`` — train one client;
+      reply on the shared result queue with ``("ok", worker_index, position,
+      vector, num_samples, train_loss, init_loss, client_id, metadata)``
+      where ``vector`` is the layout-packed update — the model weights
+      themselves never travel back as a dict.  ``attempt`` feeds the fault
+      layer only (see :func:`run_client`).
     * ``("stop",)`` — exit the loop.
 
-    Failures reply ``("err", worker_index, position, traceback_text)`` and
-    keep the worker alive.  The segment is mapped read-only via ``np.memmap``
+    Failures reply ``("err", worker_index, position, failure)`` — a pickled
+    :class:`~repro.fl.errors.ExecutorError` carrying the client/round/attempt
+    context and the worker-side traceback text — and keep the worker alive.
+    An update that does not fit the broadcast layout (wrong shape/keys) is
+    rejected *here*, at the streaming aggregation boundary, as a
+    ``ClientFailure(kind="sanitize")``: a misshapen tensor cannot travel
+    through the packed vector at all.  The segment is mapped read-only via
+    ``np.memmap``
     on its ``/dev/shm`` backing file rather than ``SharedMemory(name=...)``:
     attaching through the class would enroll the segment with this process's
     ``resource_tracker``, whose cleanup would fight the parent's over who
@@ -491,6 +786,7 @@ def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
                 )
             elif kind == "client":
                 position, spec, storage = message[1], message[2], message[3]
+                attempt = message[4] if len(message) > 4 else 0
                 round_context.client_storage[spec.client_id] = storage
                 # Zero-copy broadcast: read-only views into the shared segment.
                 # Safe because client_update treats global_state as read-only
@@ -502,16 +798,32 @@ def _shm_worker_main(worker_index: int, task_queue, result_queue) -> None:
                         model = model_fn()
                     model_dtype = dtype
                 result = run_client(strategy, model, spec, global_state,
-                                    round_context)
-                vector = layout.pack(result.state)
+                                    round_context, attempt=attempt)
+                try:
+                    vector = layout.pack(result.state)
+                except Exception as exc:
+                    raise ClientFailure(
+                        f"client {spec.client_id} update rejected at the shm "
+                        f"boundary on attempt {attempt} of round "
+                        f"{round_context.round_index}: {exc}",
+                        client_id=spec.client_id,
+                        round_index=round_context.round_index,
+                        attempt=attempt, kind="sanitize") from exc
                 result_queue.put(("ok", worker_index, position, vector,
                                   result.num_samples, result.train_loss,
                                   result.init_loss, result.client_id,
                                   result.metadata))
-        except BaseException:
+        except BaseException as exc:
             position = message[1] if kind == "client" else -1
-            result_queue.put(("err", worker_index, position,
-                              traceback.format_exc()))
+            if isinstance(exc, ExecutorError):
+                failure = exc
+            else:
+                failure = ClientFailure(
+                    f"shm worker failed processing a '{kind}' message:\n"
+                    + traceback.format_exc())
+            if failure.remote_traceback is None:
+                failure.remote_traceback = traceback.format_exc()
+            result_queue.put(("err", worker_index, position, failure))
 
 
 class SharedMemoryExecutor(ClientExecutor):
@@ -592,6 +904,12 @@ class SharedMemoryExecutor(ClientExecutor):
     def _shutdown_pool(self, graceful: bool) -> None:
         workers, self._workers = self._workers, []
         self._static = None
+        # One shared wall-clock budget for the whole pool: the joins below
+        # used to allow up to 5s *per worker* (10s with the terminate
+        # fallback), so one wedged 8-worker pool could stall teardown for
+        # over a minute.  Now the budget is pool-wide; workers that ignore
+        # it are terminated, then SIGKILLed.
+        deadline = time.monotonic() + (5.0 if graceful else 1.0)
         for process, task_queue in workers:
             if graceful and process.is_alive():
                 try:
@@ -599,14 +917,50 @@ class SharedMemoryExecutor(ClientExecutor):
                 except (OSError, ValueError):  # pragma: no cover - dying pipe
                     pass
         for process, task_queue in workers:
-            process.join(timeout=5.0 if graceful else 0.5)
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
             if process.is_alive():
                 process.terminate()
-                process.join(timeout=5.0)
-            task_queue.close()
+                process.join(timeout=max(0.5, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - wedged in a syscall
+                process.kill()
+                process.join(timeout=1.0)
+            try:
+                task_queue.close()
+            except (OSError, ValueError):  # pragma: no cover - dying pipe
+                pass
         if self._result_queue is not None:
             self._result_queue.close()
             self._result_queue = None
+
+    def _respawn_worker(self, index: int) -> None:
+        """Replace one dead worker in place; the pool and segment survive.
+
+        The replacement forks with the same ``(strategy, model_fn)`` handoff
+        as the original pool and takes over the dead worker's slot (same
+        worker index, fresh task queue, the shared result queue), so the
+        round keeps streaming without re-broadcasting the global weights —
+        the /dev/shm segment is untouched.
+        """
+        global _SHM_STATIC
+        process, task_queue = self._workers[index]
+        process.join(timeout=1.0)  # reap: it is already dead
+        try:
+            task_queue.close()
+        except (OSError, ValueError):  # pragma: no cover - dying pipe
+            pass
+        mp_context = multiprocessing.get_context("fork")
+        _SHM_STATIC = self._static
+        try:
+            fresh_queue = mp_context.SimpleQueue()
+            replacement = mp_context.Process(
+                target=_shm_worker_main,
+                args=(index, fresh_queue, self._result_queue),
+                daemon=True,
+            )
+            replacement.start()
+        finally:
+            _SHM_STATIC = None
+        self._workers[index] = (replacement, fresh_queue)
 
     # -- broadcast segment ------------------------------------------------ #
     def _ensure_segment(self, layout: StateLayout) -> None:
@@ -638,6 +992,21 @@ class SharedMemoryExecutor(ClientExecutor):
         self._segment = None
         self._segment_size = 0
 
+    def _round_header(self, layout: StateLayout,
+                      context: "FLContext") -> Dict[str, object]:
+        """The start-of-round broadcast message (see :func:`_shm_worker_main`)."""
+        return {
+            "shm_name": self._segment.name,
+            "keys": list(layout.keys),
+            "shapes": [tuple(shape) for shape in layout.shapes],
+            "dtype": layout.dtype.str,
+            "config": context.config,
+            "ema": context.ema.state_dict(),
+            "round_index": context.round_index,
+            "round_selection": list(context.round_selection),
+            "server_storage": context.server_storage,
+        }
+
     # -- round execution -------------------------------------------------- #
     def run_round(self, strategy, model_fn, selected, global_state, context):
         return list(self.iter_round(strategy, model_fn, selected, global_state,
@@ -653,17 +1022,7 @@ class SharedMemoryExecutor(ClientExecutor):
         layout = StateLayout(global_state)
         self._ensure_segment(layout)
         layout.pack(global_state, out=self._segment_vector)
-        header = {
-            "shm_name": self._segment.name,
-            "keys": list(layout.keys),
-            "shapes": [tuple(shape) for shape in layout.shapes],
-            "dtype": layout.dtype.str,
-            "config": context.config,
-            "ema": context.ema.state_dict(),
-            "round_index": context.round_index,
-            "round_selection": list(context.round_selection),
-            "server_storage": context.server_storage,
-        }
+        header = self._round_header(layout, context)
         active = self._workers[:workers]
         for _, task_queue in active:
             task_queue.put(("round", header))
@@ -681,9 +1040,10 @@ class SharedMemoryExecutor(ClientExecutor):
                 while next_position not in buffered:
                     message = self._next_result(active)
                     if message[0] == "err":
-                        raise RuntimeError(
-                            f"shm worker failed on client at position "
-                            f"{message[2]}:\n{message[3]}")
+                        # The worker already shaped this into an ExecutorError
+                        # with client/round/attempt context and its traceback
+                        # text attached; fail the round with it directly.
+                        raise message[3]
                     (_, worker_index, position, vector, num_samples,
                      train_loss, init_loss, client_id, metadata) = message
                     buffered[position] = ClientResult(
@@ -710,11 +1070,95 @@ class SharedMemoryExecutor(ClientExecutor):
                 self._shutdown_pool(graceful=False)
             raise
 
+    def run_attempts(self, strategy, model_fn, jobs, global_state, context,
+                     policy=None):
+        """Fault-tolerant wave with a self-healing pool.
+
+        Unlike :meth:`iter_round`'s fail-fast protocol, worker deaths do not
+        abort the wave: a dead worker's in-flight job becomes a
+        :class:`~repro.fl.errors.WorkerDied` outcome (consuming that job's
+        attempt), and the worker is respawned *in place* — same slot, same
+        result queue, same broadcast segment — so the pool is back at full
+        strength for the remaining jobs without re-packing the weights.
+        """
+        if not jobs:
+            return []
+        _require_fork_platform(self.name)
+        jobs = list(jobs)
+        workers = self._effective_workers(len(jobs))
+        self._ensure_pool(strategy, model_fn, workers)
+        layout = StateLayout(global_state)
+        self._ensure_segment(layout)
+        layout.pack(global_state, out=self._segment_vector)
+        header = self._round_header(layout, context)
+        active = list(range(min(workers, len(self._workers))))
+        for index in active:
+            self._workers[index][1].put(("round", header))
+        outcomes: List[object] = [None] * len(jobs)
+        pending = deque(range(len(jobs)))
+        in_flight: Dict[int, int] = {}  # worker slot -> job position
+
+        def dispatch(index: int) -> None:
+            if pending:
+                position = pending.popleft()
+                spec, attempt = jobs[position]
+                self._send_client(self._workers[index][1], position, spec,
+                                  context, attempt)
+                in_flight[index] = position
+
+        for index in active:
+            dispatch(index)
+        # Invariant: pending jobs imply in-flight jobs — every completion
+        # dispatches the next pending job, and healing re-dispatches after a
+        # respawn — so draining in_flight drains the whole wave.
+        while in_flight:
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                self._heal_workers(active, in_flight, jobs, outcomes, header,
+                                   dispatch, context)
+                continue
+            tag, worker_index, position = message[0], message[1], message[2]
+            if in_flight.get(worker_index) == position:
+                del in_flight[worker_index]
+            if tag == "ok":
+                (_, _, _, vector, num_samples, train_loss, init_loss,
+                 client_id, metadata) = message
+                outcomes[position] = ClientResult(
+                    state=layout.unpack(vector), num_samples=num_samples,
+                    train_loss=train_loss, init_loss=init_loss,
+                    client_id=client_id, metadata=metadata)
+            else:
+                outcomes[position] = message[3]
+            dispatch(worker_index)
+        return outcomes
+
+    def _heal_workers(self, active, in_flight, jobs, outcomes, header,
+                      dispatch, context) -> None:
+        """Detect dead workers, fail their in-flight jobs, respawn in place."""
+        for index in active:
+            process, _ = self._workers[index]
+            if process.is_alive():
+                continue
+            position = in_flight.pop(index, None)
+            if position is not None:
+                spec, attempt = jobs[position]
+                outcomes[position] = WorkerDied(
+                    f"shm worker (pid {process.pid}) died with exit code "
+                    f"{process.exitcode} while training client "
+                    f"{spec.client_id} on attempt {attempt} of round "
+                    f"{context.round_index}", client_id=spec.client_id,
+                    round_index=context.round_index, attempt=attempt)
+            self._respawn_worker(index)
+            self._workers[index][1].put(("round", header))
+            dispatch(index)
+
     @staticmethod
     def _send_client(task_queue, position: int, spec: ClientSpec,
-                     context: "FLContext") -> None:
+                     context: "FLContext", attempt: int = 0) -> None:
         task_queue.put(("client", position, spec,
-                        context.client_storage.get(spec.client_id, {})))
+                        context.client_storage.get(spec.client_id, {}),
+                        attempt))
 
     def _next_result(self, active) -> Tuple:
         while True:
@@ -723,13 +1167,18 @@ class SharedMemoryExecutor(ClientExecutor):
             except queue_module.Empty:
                 for process, _ in active:
                     if not process.is_alive():
-                        raise RuntimeError(
+                        raise WorkerDied(
                             f"shm worker (pid {process.pid}) died unexpectedly "
                             f"with exit code {process.exitcode}")
 
     def close(self) -> None:
-        self._shutdown_pool(graceful=True)
-        self._release_segment()
+        # The segment must be unlinked even if a wedged worker makes the
+        # pool shutdown raise: a leaked /dev/shm segment would outlive the
+        # process (and fail the fleet-scale CI leak gate).
+        try:
+            self._shutdown_pool(graceful=True)
+        finally:
+            self._release_segment()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:

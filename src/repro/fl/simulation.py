@@ -36,9 +36,11 @@ from ..nn.engine import engine_scope
 from ..nn.layers import Module
 from ..nn.serialization import get_weights, set_weights
 from ..obs import Tracer, merge_client_spans
-from .callbacks import Callback, CallbackList, PeriodicEvaluation, SwitchTelemetry
+from .callbacks import (Callback, CallbackList, FaultTelemetry,
+                        PeriodicEvaluation, SwitchTelemetry)
 from .config import FLConfig
 from .execution import ClientExecutor, create_executor
+from .faults import run_tolerant_round
 from .metrics import summarize_per_device
 from .sampling import ClientSampler, UniformSampler
 from .strategies.base import FLContext, Strategy
@@ -60,6 +62,12 @@ class RoundRecord:
     ema_loss: float
     num_switch1: int = 0
     num_switch2: int = 0
+    # Fault-tolerance bookkeeping (repro.fl.faults): zero/empty on fault-free
+    # rounds, so histories written before this field existed load unchanged.
+    num_failures: int = 0
+    num_retries: int = 0
+    dropped_clients: List[int] = field(default_factory=list)
+    failure_kinds: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe rendering (floats round-trip exactly through ``json``)."""
@@ -75,6 +83,11 @@ class RoundRecord:
             ema_loss=float(data["ema_loss"]),
             num_switch1=int(data.get("num_switch1", 0)),
             num_switch2=int(data.get("num_switch2", 0)),
+            num_failures=int(data.get("num_failures", 0)),
+            num_retries=int(data.get("num_retries", 0)),
+            dropped_clients=[int(c) for c in data.get("dropped_clients", [])],
+            failure_kinds={str(k): int(v)
+                           for k, v in dict(data.get("failure_kinds", {})).items()},
         )
 
 
@@ -342,7 +355,35 @@ class FederatedSimulation:
         # (the flat and reference reductions are bitwise-identical either way;
         # see tests/fl/test_train_engine.py).
         clients_span = None
-        if getattr(self._executor, "streaming", False):
+        policy = self.config.fault_policy
+        report = None
+        if policy is not None:
+            # Fault-tolerant path (repro.fl.faults): clients run in waves of
+            # attempts — failures are collected instead of raised, retried up
+            # to the policy's budget, and the round degrades gracefully to the
+            # surviving cohort as long as the quorum holds.  Training and
+            # retries interleave, so the whole window traces as one span.
+            with self._obs_span("clients", round=round_index, count=len(selected),
+                                tolerant=True) as clients_span:
+                survivors, results, report = run_tolerant_round(
+                    self._executor, self.strategy, self.model_fn, selected,
+                    self.global_state, self.context, policy)
+            # Aggregation (and the strategies' canonical-order checks) must
+            # see exactly the surviving cohort: a degraded round is then
+            # bitwise-identical to a round that selected only the survivors.
+            self.context.round_selection = [spec.client_id for spec in survivors]
+            with self._obs_span("aggregate", round=round_index,
+                                survivors=len(survivors)):
+                with engine_scope(self.config):
+                    if getattr(self._executor, "streaming", False):
+                        self._global_state, results = self.strategy.aggregate_stream(
+                            self._global_state, survivors, iter(results),
+                            self.context)
+                    else:
+                        self._global_state = self.strategy.aggregate(
+                            self._global_state, results, self.context)
+                    self.strategy.on_round_end(self.context, results)
+        elif getattr(self._executor, "streaming", False):
             # Streaming backend (e.g. "shm"): results are folded into the
             # aggregate one at a time in selection order and released, so the
             # server's peak memory is O(model) regardless of clients/round.
@@ -382,6 +423,16 @@ class FederatedSimulation:
             mean_train_loss=float(np.mean([r.train_loss for r in results])),
             ema_loss=float(self.context.ema.value),
         )
+        if report is not None:
+            record.num_failures = report.num_failures
+            record.num_retries = report.num_retries
+            record.dropped_clients = list(report.dropped_clients)
+            record.failure_kinds = dict(report.failure_kinds)
+            if self.tracer is not None and report.any_faults:
+                self.tracer.instant(
+                    "round_faults", round=round_index,
+                    failures=report.num_failures, retries=report.num_retries,
+                    dropped=len(report.dropped_clients))
         # When called from run(), the record joins the history *before* the
         # callbacks fire, so observers (checkpointing above all) see a history
         # that already includes the round they are reacting to.  Standalone
@@ -415,6 +466,8 @@ class FederatedSimulation:
     def _default_callbacks(self) -> List[Callback]:
         """The bookkeeping formerly hard-coded in the loop, as callbacks."""
         defaults: List[Callback] = [SwitchTelemetry()]
+        if self.config.fault_policy is not None:
+            defaults.append(FaultTelemetry())
         if self.config.eval_every:
             defaults.append(PeriodicEvaluation(self.config.eval_every))
         return defaults
